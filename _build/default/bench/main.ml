@@ -1,0 +1,219 @@
+(* Benchmark entry point: regenerates every table and figure of the
+   paper's evaluation (§5) on the simulated testbed, then runs Bechamel
+   microbenchmarks of the core primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- quick        # everything, small scale
+     dune exec bench/main.exe -- fig6a fig8   # selected experiments
+     dune exec bench/main.exe -- micro        # microbenchmarks only *)
+
+let quick = ref false
+
+let scale () = if !quick then Experiments.quick_scale else Experiments.full_scale
+
+(* Scale-adjusted sweeps: the quick cluster (4 servers) saturates at
+   roughly half the load of the full one (8 servers). *)
+let adj loads = if !quick then List.map (fun l -> l /. 2.0) loads else loads
+
+let fig6a () =
+  ignore
+    (Experiments.fig6a ~scale:(scale ())
+       ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
+       ());
+  ignore
+    (Experiments.ncc_internals ~scale:(scale ())
+       ~load:(if !quick then 8_000. else 15_000.)
+       ())
+
+let fig6b () =
+  ignore
+    (Experiments.fig6b ~scale:(scale ())
+       ~loads:(adj [ 4_000.; 10_000.; 18_000.; 28_000.; 40_000. ])
+       ())
+
+let fig6c () =
+  ignore
+    (Experiments.fig6c ~scale:(scale ())
+       ~loads:(adj [ 4_000.; 9_000.; 15_000.; 21_000.; 27_000. ])
+       ())
+
+let fig7a () =
+  let load_of name = (if !quick then 0.5 else 1.0) *. Experiments.measured_peak name in
+  ignore (Experiments.fig7a ~scale:(scale ()) ~load_of ())
+
+let fig7b () =
+  ignore
+    (Experiments.fig7b ~scale:(scale ())
+       ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
+       ())
+
+let fig7c () =
+  ignore
+    (Experiments.fig7c ~scale:(scale ()) ~load:(if !quick then 6_000. else 15_000.) ())
+
+let fig8 () = ignore (Experiments.fig8 ~scale:(scale ()) ())
+let ablations () = ignore (Experiments.ablations ~scale:(scale ()) ())
+
+let replication () =
+  ignore
+    (Experiments.replication ~scale:(scale ()) ~load:(if !quick then 5_000. else 10_000.) ())
+
+let geo () =
+  ignore (Experiments.geo ~scale:(scale ()) ~load:(if !quick then 4_000. else 8_000.) ())
+let params () = Experiments.params ()
+
+(* --- Bechamel microbenchmarks of the core primitives ----------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_string "\n== Microbenchmarks (core primitives) ==\n";
+  let store_write =
+    Test.make ~name:"store.write+commit x100"
+      (Staged.stage (fun () ->
+           let s = Mvstore.Store.create () in
+           for i = 1 to 100 do
+             let v =
+               Mvstore.Store.write s (i mod 10) i
+                 ~ts:(Kernel.Ts.make ~time:i ~cid:1)
+                 ~writer:i
+             in
+             Mvstore.Store.commit_version v
+           done))
+  in
+  let store_read =
+    let s = Mvstore.Store.create () in
+    for i = 1 to 10 do
+      Mvstore.Store.commit_version
+        (Mvstore.Store.write s i i ~ts:(Kernel.Ts.make ~time:i ~cid:1) ~writer:i)
+    done;
+    Test.make ~name:"store.read x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             ignore (Mvstore.Store.read s (i mod 10) ~ts:(Kernel.Ts.make ~time:i ~cid:2))
+           done))
+  in
+  let safeguard =
+    let results =
+      List.init 16 (fun i ->
+          {
+            Ncc.Msg.r_key = i;
+            r_value = i;
+            r_vid = i;
+            r_tw = Kernel.Ts.make ~time:10 ~cid:1;
+            r_tr = Kernel.Ts.make ~time:20 ~cid:1;
+            r_is_write = i mod 4 = 0;
+            r_prev_vid = 0;
+          })
+    in
+    Test.make ~name:"safeguard check (16 pairs)"
+      (Staged.stage (fun () -> ignore (Ncc.Client.safeguard results)))
+  in
+  let heap =
+    Test.make ~name:"heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create () in
+           for i = 1 to 100 do
+             Sim.Heap.push h (float_of_int (i * 7919 mod 100)) i
+           done;
+           while Sim.Heap.pop h <> None do
+             ()
+           done))
+  in
+  let zipf =
+    let z = Sim.Rng.zipf_create ~n:1_000_000 ~theta:0.8 in
+    let r = Sim.Rng.create 1 in
+    Test.make ~name:"zipf draw x100"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Sim.Rng.zipf_draw r z)
+           done))
+  in
+  let checker =
+    Test.make ~name:"checker 1k-txn history"
+      (Staged.stage (fun () ->
+           let t = Checker.Rsg.create () in
+           for i = 1 to 1000 do
+             Checker.Rsg.record_commit t ~txn:i
+               ~start:(float_of_int (2 * i))
+               ~finish:(float_of_int ((2 * i) + 1))
+               ~reads:[ (1, 99 + i) ]
+               ~writes:[ (1, 100 + i) ]
+           done;
+           Checker.Rsg.record_version_order t 1 (List.init 1001 (fun i -> 100 + i));
+           match Checker.Rsg.check t ~strict:true with
+           | Checker.Rsg.Ok -> ()
+           | Checker.Rsg.Violation v -> failwith v))
+  in
+  let tests = [ store_write; store_read; safeguard; heap; zipf; checker ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun sub raw ->
+          match Analyze.one ols instance raw with
+          | ols_result ->
+            (match Analyze.OLS.estimates ols_result with
+             | Some [ est ] -> Printf.printf "%-30s %12.1f ns/run\n" sub est
+             | Some _ | None -> Printf.printf "%-30s (no estimate)\n" sub)
+          | exception e ->
+            Printf.printf "%-30s (failed: %s)\n" sub (Printexc.to_string e))
+        results)
+    tests
+
+(* --- driver ----------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("params", params);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig7c", fig7c);
+    ("fig8", fig8);
+    ("ablations", ablations);
+    ("replication", replication);
+    ("geo", geo);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> all_experiments
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_experiments with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" n
+              (String.concat ", " (List.map fst all_experiments));
+            exit 2)
+        names
+  in
+  Printf.printf "NCC reproduction benchmarks (%s scale)\n"
+    (if !quick then "quick" else "full");
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+    selected

@@ -1,0 +1,192 @@
+(* ncc_sim: command-line driver for the NCC reproduction.
+
+     ncc_sim list                              protocols and workloads
+     ncc_sim run -p NCC -w google-f1 -l 20000  one simulation, full stats
+     ncc_sim fig fig6a [--quick]               regenerate a paper figure *)
+
+open Cmdliner
+
+let protocols =
+  [
+    ("NCC", Ncc.protocol);
+    ("NCC-RW", Ncc.protocol_rw);
+    ("NCC-noSR", Ncc.protocol_no_smart_retry);
+    ("NCC-noAAT", Ncc.protocol_no_async_aware);
+    ("dOCC", Baselines.docc);
+    ("d2PL-NW", Baselines.d2pl_no_wait);
+    ("d2PL-WW", Baselines.d2pl_wound_wait);
+    ("Janus-CC", Baselines.janus_cc);
+    ("TAPIR-CC", Baselines.tapir_cc);
+    ("MVTO", Baselines.mvto);
+    ("NCC-R", Ncc_r.protocol);
+    ("NCC-R-def", Ncc_r.protocol_deferred);
+  ]
+
+let workloads ~n_servers =
+  [
+    ("google-f1", fun () -> Workload.Google_f1.make ());
+    ("facebook-tao", fun () -> Workload.Facebook_tao.make ());
+    ("tpcc", fun () -> Workload.Tpcc.make ~n_servers ());
+    ("google-wf10", fun () -> Workload.Google_f1.make_wf ~write_fraction:0.10 ());
+    ("google-wf30", fun () -> Workload.Google_f1.make_wf ~write_fraction:0.30 ());
+  ]
+
+let figures =
+  [
+    ("params", fun ~scale:_ -> Experiments.params ());
+    ("fig6a", fun ~scale -> ignore (Experiments.fig6a ~scale ()));
+    ("fig6b", fun ~scale -> ignore (Experiments.fig6b ~scale ()));
+    ("fig6c", fun ~scale -> ignore (Experiments.fig6c ~scale ()));
+    ("fig7a", fun ~scale -> ignore (Experiments.fig7a ~scale ()));
+    ("fig7b", fun ~scale -> ignore (Experiments.fig7b ~scale ()));
+    ("fig7c", fun ~scale -> ignore (Experiments.fig7c ~scale ()));
+    ("fig8", fun ~scale -> ignore (Experiments.fig8 ~scale ()));
+    ("ablations", fun ~scale -> ignore (Experiments.ablations ~scale ()));
+    ("internals", fun ~scale -> ignore (Experiments.ncc_internals ~scale ()));
+    ("replication", fun ~scale -> ignore (Experiments.replication ~scale ()));
+    ("geo", fun ~scale -> ignore (Experiments.geo ~scale ()));
+  ]
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List available protocols, workloads and figures." in
+  let f () =
+    Printf.printf "protocols: %s\n" (String.concat ", " (List.map fst protocols));
+    Printf.printf "workloads: %s\n"
+      (String.concat ", " (List.map fst (workloads ~n_servers:8)));
+    Printf.printf "figures:   %s\n" (String.concat ", " (List.map fst figures))
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Run one simulation and print its statistics." in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, p) -> (n, (n, p))) protocols)) ("NCC", Ncc.protocol)
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Concurrency-control protocol.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "google-f1"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let load =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "l"; "load" ] ~docv:"TXN/S" ~doc:"Offered load, transactions/second.")
+  in
+  let servers = Arg.(value & opt int 8 & info [ "servers" ] ~doc:"Number of servers.") in
+  let clients = Arg.(value & opt int 24 & info [ "clients" ] ~doc:"Number of clients.") in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Measured seconds (simulated).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ]
+          ~doc:"Replica nodes per server (use 2 with NCC-R / NCC-R-def).")
+  in
+  let trace =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ]
+          ~doc:"Dump the last N traced events (message sends/handles) after the run.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Harness.Runner.No_check);
+               ("ser", Harness.Runner.Serializable);
+               ("strict", Harness.Runner.Strict);
+             ])
+          Harness.Runner.No_check
+      & info [ "check" ] ~doc:"History check: none, ser or strict.")
+  in
+  let f (pname, p) wname load n_servers n_clients duration seed replicas trace check =
+    if trace > 0 then Sim.Trace.enable ~capacity:(max 4096 trace) ();
+    match List.assoc_opt wname (workloads ~n_servers) with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" wname;
+      exit 2
+    | Some mk ->
+      let w = mk () in
+      let cfg =
+        {
+          Harness.Runner.default with
+          Harness.Runner.seed;
+          n_servers;
+          n_clients;
+          offered_load = load;
+          duration;
+          check;
+          replicas_per_server = replicas;
+        }
+      in
+      let r = Harness.Runner.run ~label:pname p w cfg in
+      Printf.printf
+        "protocol=%s workload=%s offered=%.0f/s\n\
+         committed=%d (%.0f/s)  gave_up=%d  dropped=%d\n\
+         latency p50=%.2fms p90=%.2fms p99=%.2fms mean=%.2fms\n\
+         messages=%d (%.1f/txn)  peak server utilization=%.2f\n\
+         check=%s\n"
+        r.Harness.Runner.protocol r.Harness.Runner.workload load r.Harness.Runner.committed
+        r.Harness.Runner.throughput r.Harness.Runner.gave_up r.Harness.Runner.dropped
+        (r.Harness.Runner.p50 *. 1e3) (r.Harness.Runner.p90 *. 1e3)
+        (r.Harness.Runner.p99 *. 1e3)
+        (r.Harness.Runner.mean_latency *. 1e3)
+        r.Harness.Runner.messages r.Harness.Runner.msgs_per_commit
+        r.Harness.Runner.max_utilization r.Harness.Runner.check_result;
+      if r.Harness.Runner.aborts <> [] then begin
+        Printf.printf "aborts:";
+        List.iter (fun (k, n) -> Printf.printf " %s=%d" k n) r.Harness.Runner.aborts;
+        print_newline ()
+      end;
+      if r.Harness.Runner.counters <> [] then begin
+        Printf.printf "counters:";
+        List.iter
+          (fun (k, v) -> Printf.printf " %s=%.0f" k v)
+          (List.sort compare r.Harness.Runner.counters);
+        print_newline ()
+      end;
+      if trace > 0 then begin
+        Printf.printf "--- last %d traced events (of %d) ---\n" trace
+          (Sim.Trace.emitted ());
+        Sim.Trace.dump ~last:trace Format.std_formatter
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const f $ protocol $ workload $ load $ servers $ clients $ duration $ seed
+      $ replicas $ trace $ check)
+
+(* --- fig ---------------------------------------------------------------- *)
+
+let fig_cmd =
+  let doc = "Regenerate one of the paper's figures or tables." in
+  let fig_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, f) -> (n, (n, f))) figures))) None
+      & info [] ~docv:"FIGURE")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small cluster, shorter runs.")
+  in
+  let f (_, fig) quick =
+    let scale = if quick then Experiments.quick_scale else Experiments.full_scale in
+    fig ~scale
+  in
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const f $ fig_arg $ quick_arg)
+
+let () =
+  let doc = "NCC (OSDI 2023) reproduction: simulated strictly serializable datastores" in
+  let info = Cmd.info "ncc_sim" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; fig_cmd ]))

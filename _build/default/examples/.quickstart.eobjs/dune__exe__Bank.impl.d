@@ -1,0 +1,1 @@
+examples/bank.ml: Array Harness Kernel List Ncc Option Outcome Printf Queue Sim Txn Types

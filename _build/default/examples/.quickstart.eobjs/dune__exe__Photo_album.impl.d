@@ -1,0 +1,1 @@
+examples/photo_album.ml: Harness Hashtbl Kernel List Ncc Option Outcome Printf Txn Types Workload

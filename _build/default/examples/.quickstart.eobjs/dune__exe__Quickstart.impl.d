@@ -1,0 +1,1 @@
+examples/quickstart.ml: Harness Kernel List Ncc Option Outcome Printf Ts Txn Types

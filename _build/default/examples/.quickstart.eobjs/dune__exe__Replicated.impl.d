@@ -1,0 +1,1 @@
+examples/replicated.ml: Array Harness Hashtbl Kernel List Ncc Ncc_r Option Outcome Printf Sim Txn Types Workload

@@ -1,0 +1,1 @@
+examples/social_graph.ml: Array Harness Kernel List Ncc Option Outcome Printf Sim Txn Types Workload

@@ -1,0 +1,115 @@
+(* Bank: real money transfers with interactive transactions.
+
+   A transfer is the classic interactive pattern — read both balances,
+   compute, write both back:
+
+     shot 1 (static):   read balance(src), balance(dst)
+     shot 2 (computed): write balance(src) - amount, balance(dst) + amount
+
+   Strict serializability makes the sum of all balances invariant no
+   matter how transfers interleave across tellers and servers. The
+   example hammers a small branch of accounts with concurrent transfers
+   (retrying aborted attempts, and skipping transfers whose source
+   lacks funds), then audits the bank with a read-only transaction and
+   checks the books balance to the cent.
+
+     dune exec examples/bank.exe *)
+
+open Kernel
+
+let n_accounts = 10
+let opening_balance = 1_000
+let n_transfers = 300
+
+let () =
+  Printf.printf "bank: %d accounts x %d opening balance, %d concurrent transfers\n"
+    n_accounts opening_balance n_transfers;
+  let committed = ref 0 and insufficient = ref 0 and retries = ref 0 in
+  let audit = ref None in
+  let bed = ref None in
+  let b () = Option.get !bed in
+  let backoff_rng = Sim.Rng.create 99 in
+  let queue : (Types.node_id * Txn.t) Queue.t = Queue.create () in
+  let inflight = ref 0 in
+  let rec pump () =
+    (* keep a bounded number of transfers in flight *)
+    if !inflight < 12 && not (Queue.is_empty queue) then begin
+      let client, txn = Queue.pop queue in
+      incr inflight;
+      (b ()).Harness.Testbed.submit ~client txn;
+      pump ()
+    end
+  in
+  let on_outcome ~client (o : Outcome.t) =
+    match (o.status, o.txn.Txn.label) with
+    | Outcome.Committed, "audit" ->
+      audit := Some (List.fold_left (fun acc (_, _, v) -> acc + v) 0 o.reads)
+    | Outcome.Committed, "transfer" ->
+      decr inflight;
+      if o.writes = [] then incr insufficient else incr committed;
+      pump ()
+    | Outcome.Committed, _ -> ()
+    | Outcome.Aborted _, _ ->
+      incr retries;
+      (* randomized back-off: synchronized retries would collide again *)
+      let backoff = 0.0003 +. Sim.Rng.float backoff_rng 0.001 in
+      (b ()).Harness.Testbed.after backoff (fun () ->
+          (b ()).Harness.Testbed.submit ~client o.txn)
+  in
+  bed := Some (Harness.Testbed.make ~n_servers:4 ~n_clients:4 ~seed:3 Ncc.protocol ~on_outcome);
+  let rng = Sim.Rng.create 11 in
+  let clients = Array.of_list (b ()).Harness.Testbed.clients in
+
+  (* open the accounts *)
+  let opening = List.init n_accounts (fun a -> Types.Write (a, opening_balance)) in
+  (b ()).Harness.Testbed.submit ~client:clients.(0)
+    (Txn.make ~label:"open" ~client:clients.(0) [ opening ]);
+  (b ()).Harness.Testbed.run_for 0.01;
+
+  (* the transfer transaction: interactive second shot *)
+  let transfer ~client ~src ~dst ~amount =
+    let continue reads =
+      let balance a =
+        match List.assoc_opt a reads with Some v -> v | None -> 0
+      in
+      if balance src < amount then `Done (* insufficient funds: read-only *)
+      else
+        `Last
+          [
+            Types.Write (src, balance src - amount);
+            Types.Write (dst, balance dst + amount);
+          ]
+    in
+    Txn.make ~label:"transfer" ~client ~dynamic:continue
+      [ [ Types.Read src; Types.Read dst ] ]
+  in
+  for i = 1 to n_transfers do
+    let client = clients.(i mod Array.length clients) in
+    let src = Sim.Rng.int rng n_accounts in
+    let dst = (src + 1 + Sim.Rng.int rng (n_accounts - 1)) mod n_accounts in
+    let amount = 1 + Sim.Rng.int rng 200 in
+    Queue.push (client, transfer ~client ~src ~dst ~amount) queue
+  done;
+  pump ();
+  (b ()).Harness.Testbed.run_until_quiet ();
+
+  (* audit: one read-only transaction over every account *)
+  (b ()).Harness.Testbed.submit ~client:clients.(0)
+    (Txn.make ~label:"audit" ~client:clients.(0)
+       [ List.init n_accounts (fun a -> Types.Read a) ]);
+  (b ()).Harness.Testbed.run_until_quiet ();
+
+  Printf.printf "transfers committed: %d (plus %d no-funds no-ops), %d aborted attempts retried\n"
+    !committed !insufficient !retries;
+  match !audit with
+  | Some total when total = n_accounts * opening_balance ->
+    Printf.printf "audit: total balance %d == %d expected\n" total
+      (n_accounts * opening_balance);
+    print_endline "OK: the books balance - strict serializability held the invariant"
+  | Some total ->
+    Printf.printf "FAILED: audit found %d, expected %d\n" total
+      (n_accounts * opening_balance);
+    exit 1
+  | None ->
+    print_endline "FAILED: audit did not complete";
+    exit 1

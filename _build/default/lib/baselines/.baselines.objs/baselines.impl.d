@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Common D2pl Docc Harness Mvto Tapir Tr

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Cluster Hashtbl Kernel List Mvstore Option Outcome Ts Txn Types

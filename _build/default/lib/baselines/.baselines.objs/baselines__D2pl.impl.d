@@ -1,0 +1,1 @@
+lib/baselines/d2pl.ml: Cluster Common Harness Hashtbl Kernel List Mvstore Outcome Ts Txn Types

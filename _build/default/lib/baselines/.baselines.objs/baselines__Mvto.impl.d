@@ -1,0 +1,1 @@
+lib/baselines/mvto.ml: Cluster Common Harness Hashtbl Kernel List Mvstore Option Outcome Ts Txn Types

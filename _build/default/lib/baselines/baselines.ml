@@ -1,0 +1,30 @@
+(* The five baseline concurrency-control protocols the paper evaluates
+   against NCC (§5): three strictly serializable (dOCC, d2PL in two
+   variants, Janus-CC transaction reordering) and two serializable
+   (TAPIR-CC, MVTO). *)
+
+module Common = Common
+module Docc = Docc
+module D2pl = D2pl
+module Tr = Tr
+module Tapir = Tapir
+module Mvto = Mvto
+
+let docc = Docc.protocol
+let d2pl_no_wait = D2pl.no_wait
+let d2pl_wound_wait = D2pl.wound_wait
+let janus_cc = Tr.protocol
+let tapir_cc = Tapir.protocol
+let mvto = Mvto.protocol
+
+(* All baselines with their consistency level: [`Strict] ones must pass
+   the strict-serializability check, [`Ser] ones only serializability. *)
+let all : (Harness.Protocol.t * [ `Strict | `Ser ]) list =
+  [
+    (docc, `Strict);
+    (d2pl_no_wait, `Strict);
+    (d2pl_wound_wait, `Strict);
+    (janus_cc, `Strict);
+    (tapir_cc, `Ser);
+    (mvto, `Ser);
+  ]

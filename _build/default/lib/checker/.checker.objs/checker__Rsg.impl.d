@@ -1,0 +1,1 @@
+lib/checker/rsg.ml: Array Float Hashtbl Kernel List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/checker/rsg.mli: Kernel Types

@@ -1,0 +1,29 @@
+(** Real-time Serialization Graph checker (paper §2.2). Records the
+    committed history of a run and decides whether it is serializable
+    (execution edges acyclic, Invariant 1) or strictly serializable
+    (execution plus real-time edges acyclic, Invariant 2). *)
+
+open Kernel
+
+type t
+
+val create : unit -> t
+
+(** Record one committed transaction: its client-observed real-time
+    interval and the version ids it read and installed. *)
+val record_commit :
+  t -> txn:int -> start:float -> finish:float ->
+  reads:(Types.key * int) list -> writes:(Types.key * int) list -> unit
+
+(** Record the order (oldest first) in which committed versions of a
+    key were installed, as reported by the owning server. *)
+val record_version_order : t -> Types.key -> int list -> unit
+
+val n_committed : t -> int
+
+type verdict = Ok | Violation of string
+
+(** [check ~strict:true] checks strict serializability; with
+    [~strict:false] only serializability. Also flags committed reads of
+    versions that never appear in any committed order (dirty reads). *)
+val check : t -> strict:bool -> verdict

@@ -1,0 +1,1 @@
+lib/cluster/latency.ml: Array Kernel Sim Topology

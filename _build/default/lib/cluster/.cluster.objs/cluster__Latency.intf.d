@@ -1,0 +1,1 @@
+lib/cluster/latency.mli: Kernel Sim Topology

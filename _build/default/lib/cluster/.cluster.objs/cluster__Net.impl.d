@@ -1,0 +1,1 @@
+lib/cluster/net.ml: Array Float Kernel Latency Lazy List Printf Queue Sim Topology Types

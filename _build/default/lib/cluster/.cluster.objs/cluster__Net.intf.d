@@ -1,0 +1,1 @@
+lib/cluster/net.mli: Kernel Latency Sim Topology Types

@@ -1,0 +1,1 @@
+lib/cluster/topology.ml: Hashtbl Int Kernel List

@@ -1,0 +1,41 @@
+(* One-way network delay models. Delays are sampled per message, so
+   links are not FIFO (a later message can overtake an earlier one) —
+   none of the protocols here assume FIFO channels.
+
+   The datacenter model the evaluation uses: a per-(src,dst) constant
+   base propagation delay plus exponential jitter. Asymmetric base
+   delays across client-server pairs are what make asynchrony-aware
+   timestamps (§4.3) matter: close clients would otherwise always win
+   the timestamp race against far ones. *)
+
+type t = {
+  base : Kernel.Types.node_id -> Kernel.Types.node_id -> float;
+  jitter_mean : float;
+}
+
+let sample rng t ~src ~dst =
+  let j = if t.jitter_mean > 0.0 then Sim.Rng.exponential rng ~mean:t.jitter_mean else 0.0 in
+  t.base src dst +. j
+
+(* Every pair has the same base one-way delay. *)
+let uniform ~one_way ~jitter_mean = { base = (fun _ _ -> one_way); jitter_mean }
+
+(* Two latency classes: pairs selected by [remote] see the wide-area
+   delay, everything else the local one. Used for geo-replication
+   (replicas in another datacenter). *)
+let classed ~local ~wide ~remote ~jitter_mean =
+  { base = (fun src dst -> if remote src dst then wide else local); jitter_mean }
+
+(* Per-pair base delays drawn once, uniform in [min_one_way,
+   max_one_way], symmetric (delay a->b = delay b->a). *)
+let asymmetric rng topo ~min_one_way ~max_one_way ~jitter_mean =
+  let n = Topology.n_nodes topo in
+  let table = Array.make_matrix n n 0.0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let d = min_one_way +. Sim.Rng.float rng (max_one_way -. min_one_way) in
+      table.(a).(b) <- d;
+      table.(b).(a) <- d
+    done
+  done;
+  { base = (fun src dst -> if src = dst then 0.0 else table.(src).(dst)); jitter_mean }

@@ -1,0 +1,22 @@
+(** One-way message delay models (seconds). Links are not FIFO: jitter
+    is drawn per message, so reordering happens naturally. *)
+
+type t
+
+val sample : Sim.Rng.t -> t -> src:Kernel.Types.node_id -> dst:Kernel.Types.node_id -> float
+
+(** Same base one-way delay for every pair, plus exponential jitter. *)
+val uniform : one_way:float -> jitter_mean:float -> t
+
+(** Two delay classes: [remote src dst] pairs see [wide], others
+    [local] (geo-replication topologies). *)
+val classed :
+  local:float -> wide:float ->
+  remote:(Kernel.Types.node_id -> Kernel.Types.node_id -> bool) ->
+  jitter_mean:float -> t
+
+(** Per-pair symmetric base delays drawn uniformly in
+    [min_one_way, max_one_way] once at construction. *)
+val asymmetric :
+  Sim.Rng.t -> Topology.t ->
+  min_one_way:float -> max_one_way:float -> jitter_mean:float -> t

@@ -1,0 +1,127 @@
+(* The message-passing runtime connecting protocol actors.
+
+   Each node has a single logical CPU: incoming messages queue at the
+   node and are serviced one at a time; servicing a message costs
+   [cost msg] seconds of CPU before the handler runs. This M/G/1-style
+   model is what turns "protocol X sends more messages per transaction"
+   into the queueing delay and throughput ceiling the paper's
+   latency-vs-throughput figures show.
+
+   Handlers run at service completion. Sends made from within a handler
+   are charged no extra CPU (send cost can be folded into the message's
+   own cost model). *)
+
+open Kernel
+
+type 'msg ctx = {
+  self : Types.node_id;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  topo : Topology.t;
+  clock : Sim.Clock.t;
+  send : dst:Types.node_id -> 'msg -> unit;
+  timer : delay:float -> (unit -> unit) -> unit;
+}
+
+(* Local physical-clock reading in integer nanoseconds (the timestamp
+   unit used throughout the protocols). *)
+let local_ns ctx = Sim.Clock.read_ns ctx.clock ~now:(Sim.Engine.now ctx.engine)
+
+let now ctx = Sim.Engine.now ctx.engine
+
+type 'msg node = {
+  ctx : 'msg ctx;
+  mutable handler : src:Types.node_id -> 'msg -> unit;
+  mutable cost : 'msg -> float;
+  inbox : (Types.node_id * 'msg) Queue.t;
+  mutable busy : bool;
+}
+
+type 'msg t = {
+  net_engine : Sim.Engine.t;
+  net_rng : Sim.Rng.t;
+  net_topo : Topology.t;
+  latency : Latency.t;
+  nodes : 'msg node array;
+  mutable messages_sent : int;
+  mutable busy_time : float array;  (* per-node CPU seconds consumed *)
+}
+
+let rec service t node =
+  if (not node.busy) && not (Queue.is_empty node.inbox) then begin
+    node.busy <- true;
+    let src, msg = Queue.pop node.inbox in
+    let c = node.cost msg in
+    t.busy_time.(node.ctx.self) <- t.busy_time.(node.ctx.self) +. c;
+    Sim.Engine.schedule t.net_engine ~delay:c (fun () ->
+        if Sim.Trace.active () then
+          Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
+            (Printf.sprintf "node %d handles message from %d" node.ctx.self src);
+        node.handler ~src msg;
+        node.busy <- false;
+        service t node)
+  end
+
+let send t ~src ~dst msg =
+  t.messages_sent <- t.messages_sent + 1;
+  let delay = Latency.sample t.net_rng t.latency ~src ~dst in
+  if Sim.Trace.active () then
+    Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"send"
+      (Printf.sprintf "%d -> %d (arrives +%.0fus)" src dst (delay *. 1e6));
+  let node = t.nodes.(dst) in
+  Sim.Engine.schedule t.net_engine ~delay (fun () ->
+      Queue.push (src, msg) node.inbox;
+      service t node)
+
+let create engine rng topo ~latency ~clock_of =
+  let n = Topology.n_nodes topo in
+  let rec t =
+    lazy
+      {
+        net_engine = engine;
+        net_rng = Sim.Rng.split rng;
+        net_topo = topo;
+        latency;
+        nodes =
+          Array.init n (fun id ->
+              let ctx =
+                {
+                  self = id;
+                  engine;
+                  rng = Sim.Rng.split rng;
+                  topo;
+                  clock = clock_of id;
+                  send = (fun ~dst msg -> send (Lazy.force t) ~src:id ~dst msg);
+                  timer = (fun ~delay f -> Sim.Engine.schedule engine ~delay f);
+                }
+              in
+              {
+                ctx;
+                handler = (fun ~src:_ _ -> failwith "Net: handler not set");
+                cost = (fun _ -> 0.0);
+                inbox = Queue.create ();
+                busy = false;
+              });
+        messages_sent = 0;
+        busy_time = Array.make n 0.0;
+      }
+  in
+  Lazy.force t
+
+let ctx t id = t.nodes.(id).ctx
+
+let set_handler t id ~cost ~handler =
+  t.nodes.(id).cost <- cost;
+  t.nodes.(id).handler <- handler
+
+let messages_sent t = t.messages_sent
+
+let busy_time t id = t.busy_time.(id)
+
+let max_server_utilization t ~duration =
+  if duration <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc s -> Float.max acc (t.busy_time.(s) /. duration))
+      0.0
+      (Topology.servers t.net_topo)

@@ -1,0 +1,46 @@
+(** Message-passing runtime over the simulator. Each node services its
+    inbox with a single CPU: a message costs [cost msg] seconds before
+    its handler runs, which models server saturation and queueing. *)
+
+open Kernel
+
+(** Per-node capabilities handed to protocol implementations. *)
+type 'msg ctx = {
+  self : Types.node_id;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  topo : Topology.t;
+  clock : Sim.Clock.t;
+  send : dst:Types.node_id -> 'msg -> unit;
+  timer : delay:float -> (unit -> unit) -> unit;
+}
+
+(** Node's local physical clock in integer nanoseconds (timestamp unit). *)
+val local_ns : 'msg ctx -> int
+
+(** True simulated time in seconds (for measurement, not protocol logic). *)
+val now : 'msg ctx -> float
+
+type 'msg t
+
+(** [create engine rng topo ~latency ~clock_of] builds the runtime;
+    [clock_of id] supplies each node's (possibly skewed) clock. *)
+val create :
+  Sim.Engine.t -> Sim.Rng.t -> Topology.t ->
+  latency:Latency.t -> clock_of:(Types.node_id -> Sim.Clock.t) -> 'msg t
+
+val ctx : 'msg t -> Types.node_id -> 'msg ctx
+
+val set_handler :
+  'msg t -> Types.node_id ->
+  cost:('msg -> float) -> handler:(src:Types.node_id -> 'msg -> unit) -> unit
+
+val send : 'msg t -> src:Types.node_id -> dst:Types.node_id -> 'msg -> unit
+
+val messages_sent : 'msg t -> int
+
+(** CPU seconds consumed by a node so far. *)
+val busy_time : 'msg t -> Types.node_id -> float
+
+(** Highest per-server CPU utilization over [duration] seconds. *)
+val max_server_utilization : 'msg t -> duration:float -> float

@@ -1,0 +1,32 @@
+(** Cluster shape and key placement. Servers are nodes [0, n_servers),
+    clients are [n_servers, n_servers + n_clients), and replicated
+    protocols put each server's replica nodes at the top of the id
+    space. *)
+
+type t = { n_servers : int; n_clients : int; replicas_per_server : int }
+
+val make : ?replicas_per_server:int -> n_servers:int -> n_clients:int -> unit -> t
+val n_nodes : t -> int
+val n_replicas : t -> int
+val is_server : t -> Kernel.Types.node_id -> bool
+val is_client : t -> Kernel.Types.node_id -> bool
+val is_replica : t -> Kernel.Types.node_id -> bool
+val servers : t -> Kernel.Types.node_id list
+val clients : t -> Kernel.Types.node_id list
+val replicas : t -> Kernel.Types.node_id list
+
+(** The replica nodes backing a server. *)
+val replicas_of : t -> Kernel.Types.node_id -> Kernel.Types.node_id list
+
+(** The server owning a replica node. *)
+val leader_of_replica : t -> Kernel.Types.node_id -> Kernel.Types.node_id
+
+(** Dense 0-based index of a client node among clients. *)
+val client_index : t -> Kernel.Types.node_id -> int
+
+val server_of_key : t -> Kernel.Types.key -> Kernel.Types.node_id
+
+(** Partition operations by participant server (ascending server id),
+    preserving per-server operation order. *)
+val ops_by_server :
+  t -> Kernel.Types.op list -> (Kernel.Types.node_id * Kernel.Types.op list) list

@@ -1,0 +1,85 @@
+(** Reproductions of the paper's evaluation (§5): one function per
+    table/figure. Each runs on the simulated testbed and prints the
+    series the paper plots, returning the raw results. *)
+
+module Runner = Harness.Runner
+
+val strict_protocols : (string * Harness.Protocol.t) list
+val serializable_protocols : (string * Harness.Protocol.t) list
+
+(** Cluster/duration preset. *)
+type scale = { n_servers : int; n_clients : int; duration : float; warmup : float }
+
+(** The paper's 8 servers plus 24 clients. *)
+val full_scale : scale
+
+(** 4 servers, shorter runs. *)
+val quick_scale : scale
+
+val base_cfg : ?seed:int -> scale -> Runner.config
+
+(** In-window aborted attempts / decided attempts. *)
+val abort_rate : Runner.result -> float
+
+(** Peak throughput of each protocol on Google-F1 at [full_scale]
+    (measured by the Fig 6a sweep); drives the Fig 7a load choice. *)
+val measured_peak : string -> float
+
+(** Latency-vs-throughput sweep (the Fig 6 shape). *)
+val latency_throughput :
+  ?protocols:(string * Harness.Protocol.t) list ->
+  workload:Harness.Workload_sig.t ->
+  loads:float list ->
+  scale ->
+  (string * (float * Runner.result) list) list
+
+val fig6a :
+  ?scale:scale -> ?loads:float list -> unit ->
+  (string * (float * Runner.result) list) list
+
+val fig6b :
+  ?scale:scale -> ?loads:float list -> unit ->
+  (string * (float * Runner.result) list) list
+
+val fig6c :
+  ?scale:scale -> ?loads:float list -> unit ->
+  (string * (float * Runner.result) list) list
+
+(** Write-fraction sweep at ~75% of each system's own peak load. *)
+val fig7a :
+  ?scale:scale -> ?write_fractions:float list -> ?load_of:(string -> float) -> unit ->
+  (string * (float * Runner.result) list) list
+
+val fig7b :
+  ?scale:scale -> ?loads:float list -> unit ->
+  (string * (float * Runner.result) list) list
+
+(** Client-failure injection at t=10s with the given recovery timeouts;
+    returns the per-timeout results (with commit-rate time series). *)
+val fig7c :
+  ?scale:scale -> ?timeouts:float list -> ?load:float -> unit ->
+  (float * Runner.result) list
+
+(** Measured best-case properties table (latency in RTTs, messages per
+    transaction, false aborts) on low-contention one-shot probes. *)
+val fig8 :
+  ?scale:scale -> unit -> (string * Runner.result * Runner.result) list
+
+(** The §5.3 inline statistics (safeguard pass rate etc.). *)
+val ncc_internals : ?scale:scale -> ?load:float -> unit -> Runner.result
+
+(** NCC optimization ablations (smart retry, asynchrony-aware
+    timestamps, read-only fast path). *)
+val ablations : ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
+
+(** Replication study (§4.6): NCC vs NCC-R (every state change
+    replicated to 2 replicas/server) vs deferred replication. Verifies
+    "latency up, aborts unchanged". *)
+val replication : ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
+
+(** Geo-replication: local vs cross-datacenter replica groups. *)
+val geo :
+  ?scale:scale -> ?load:float -> ?wide:float -> unit -> (string * Runner.result) list
+
+(** Print the paper's Fig 4 / Fig 5 workload-parameter tables. *)
+val params : unit -> unit

@@ -1,0 +1,1 @@
+lib/harness/cost.ml:

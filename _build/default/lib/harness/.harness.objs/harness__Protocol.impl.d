@@ -1,0 +1,1 @@
+lib/harness/protocol.ml: Cluster Cost Kernel Outcome Txn Types

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Checker Cluster Cost Hashtbl Kernel List Mvstore Option Outcome Printf Protocol Sim Stats Txn Workload_sig

@@ -1,0 +1,1 @@
+lib/harness/testbed.ml: Array Cluster Cost Hashtbl Kernel List Mvstore Protocol Sim Txn Types

@@ -1,0 +1,1 @@
+lib/harness/testbed.mli: Cluster Cost Kernel Outcome Protocol Txn Types

@@ -1,0 +1,1 @@
+lib/harness/workload_sig.ml: Kernel Sim

@@ -1,0 +1,35 @@
+(* CPU cost model for servicing a message, in seconds. The paper's
+   experiments are CPU-bound on the servers *handling network
+   interrupts* (§5.1), i.e. the dominant cost is per message, with
+   smaller per-operation and per-payload terms. This is what makes a
+   protocol's message count (rounds) the thing that sets its throughput
+   ceiling — the effect behind the gaps in Figures 6 and 7: a protocol
+   that needs one round where another needs two saturates at roughly
+   twice the load. *)
+
+type t = {
+  server_base : float;  (* fixed cost of receiving + answering a message *)
+  per_op : float;       (* per read/write operation carried *)
+  per_kb : float;       (* per kilobyte of payload *)
+  per_dep : float;      (* per dependency entry (transaction reordering) *)
+  client_base : float;  (* client-side handling cost *)
+}
+
+let default =
+  {
+    server_base = 40e-6;
+    per_op = 0.3e-6;
+    per_kb = 0.5e-6;
+    per_dep = 0.3e-6;
+    client_base = 1e-6;
+  }
+
+(* Cost of a server message carrying [ops] operations, [bytes] of
+   payload and [deps] dependency entries. *)
+let server t ?(ops = 0) ?(bytes = 0) ?(deps = 0) () =
+  t.server_base
+  +. (t.per_op *. float_of_int ops)
+  +. (t.per_kb *. float_of_int bytes /. 1024.0)
+  +. (t.per_dep *. float_of_int deps)
+
+let client t = t.client_base

@@ -1,0 +1,63 @@
+(* The interface every concurrency-control protocol implements. A
+   protocol supplies its own message type, the per-message CPU cost (so
+   the runtime can model server saturation), a server actor and a
+   client-side coordinator actor. The harness wires actors to the
+   simulated network, drives open-loop load, applies the retry policy
+   and collects statistics. *)
+
+open Kernel
+
+module type S = sig
+  val name : string
+
+  type msg
+
+  (* Where a message is handled determines whose CPU it costs: the
+     harness calls this for server-bound messages; client-bound
+     messages cost [Cost.client]. *)
+  val msg_cost : Cost.t -> msg -> float
+
+  type server
+
+  val make_server : msg Cluster.Net.ctx -> server
+  val server_handle : server -> src:Types.node_id -> msg -> unit
+
+  (* Per-key committed version order (oldest first), for the checker. *)
+  val server_version_orders : server -> (Types.key * int list) list
+
+  (* Protocol-specific counters, summed across servers by the harness. *)
+  val server_counters : server -> (string * float) list
+
+  type client
+
+  (* [report] must be called exactly once per submitted transaction
+     attempt, with the attempt's outcome. *)
+  val make_client : msg Cluster.Net.ctx -> report:(Outcome.t -> unit) -> client
+
+  val client_handle : client -> src:Types.node_id -> msg -> unit
+
+  (* Begin executing one attempt of [txn]. The coordinator pre-assigns
+     timestamps afresh on every call, so the harness retries aborted
+     transactions simply by submitting them again. *)
+  val submit : client -> Txn.t -> unit
+
+  val client_counters : client -> (string * float) list
+
+  (* Replica-node actor, for replicated protocols (the topology's
+     [replicas_per_server] nodes). Non-replicated protocols include
+     {!No_replicas}. *)
+  type replica
+
+  val make_replica : msg Cluster.Net.ctx -> replica
+  val replica_handle : replica -> src:Types.node_id -> msg -> unit
+end
+
+(* Mix-in for protocols without a replication layer. *)
+module No_replicas = struct
+  type replica = unit
+
+  let make_replica _ = ()
+  let replica_handle () ~src:_ _ = ()
+end
+
+type t = (module S)

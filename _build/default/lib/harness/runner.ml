@@ -1,0 +1,282 @@
+(* Experiment runner: builds a simulated cluster, plugs in a protocol's
+   server and client actors, drives open-loop Poisson load with a
+   retry-until-committed policy (as the paper's clients do), and
+   collects throughput / latency / abort statistics plus an optional
+   serializability-checker verdict. *)
+
+open Kernel
+
+type latency_spec =
+  | Uniform of { one_way : float; jitter : float }
+  | Asymmetric of { min_one_way : float; max_one_way : float; jitter : float }
+  | Geo_replicas of { local : float; wide : float; jitter : float }
+      (* replica nodes live in a remote datacenter: any path touching a
+         replica pays the wide-area delay *)
+
+type check_level = No_check | Serializable | Strict
+
+type config = {
+  seed : int;
+  n_servers : int;
+  n_clients : int;
+  offered_load : float;  (* transactions/second across the whole system *)
+  duration : float;      (* measurement window, seconds *)
+  warmup : float;
+  drain : float;
+  max_inflight : int;    (* open-loop back-off threshold per client *)
+  max_retries : int;
+  retry_backoff : float; (* base back-off before resubmitting an abort *)
+  cost : Cost.t;
+  latency : latency_spec;
+  max_clock_offset : float;
+  max_clock_drift : float;
+  check : check_level;
+  series_width : float option;  (* commit-rate time series bucket width *)
+  replicas_per_server : int;    (* replica nodes per server (replicated protocols) *)
+}
+
+let default =
+  {
+    seed = 42;
+    n_servers = 8;
+    n_clients = 24;
+    offered_load = 5_000.0;
+    duration = 4.0;
+    warmup = 1.0;
+    drain = 1.0;
+    max_inflight = 16;
+    max_retries = 50;
+    retry_backoff = 0.5e-3;
+    cost = Cost.default;
+    latency = Asymmetric { min_one_way = 120e-6; max_one_way = 380e-6; jitter = 25e-6 };
+    max_clock_offset = 2e-3;
+    max_clock_drift = 2e-5;
+    check = No_check;
+    series_width = None;
+    replicas_per_server = 0;
+  }
+
+type result = {
+  protocol : string;
+  workload : string;
+  offered : float;
+  committed : int;
+  gave_up : int;
+  attempts : int;
+  aborts : (string * int) list;  (* per abort reason, all attempts *)
+  dropped : int;                 (* arrivals suppressed by back-off *)
+  throughput : float;
+  mean_latency : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  messages : int;
+  msgs_per_commit : float;
+  max_utilization : float;
+  counters : (string * float) list;
+  series : (float * float) list;
+  check_result : string;
+}
+
+type pending = {
+  p_txn : Txn.t;
+  p_first_start : float;
+  mutable p_attempt_start : float;
+  mutable p_attempts : int;
+}
+
+let latency_model rng topo = function
+  | Uniform { one_way; jitter } -> Cluster.Latency.uniform ~one_way ~jitter_mean:jitter
+  | Asymmetric { min_one_way; max_one_way; jitter } ->
+    Cluster.Latency.asymmetric rng topo ~min_one_way ~max_one_way ~jitter_mean:jitter
+  | Geo_replicas { local; wide; jitter } ->
+    Cluster.Latency.classed ~local ~wide ~jitter_mean:jitter
+      ~remote:(fun a b ->
+        Cluster.Topology.is_replica topo a || Cluster.Topology.is_replica topo b)
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
+  Txn.reset_ids ();
+  Mvstore.Store.reset_vids ();
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create cfg.seed in
+  let topo =
+    Cluster.Topology.make ~replicas_per_server:cfg.replicas_per_server
+      ~n_servers:cfg.n_servers ~n_clients:cfg.n_clients ()
+  in
+  let clock_rng = Sim.Rng.split rng in
+  let clocks =
+    Array.init (Cluster.Topology.n_nodes topo) (fun _ ->
+        Sim.Clock.random clock_rng ~max_offset:cfg.max_clock_offset
+          ~max_drift:cfg.max_clock_drift)
+  in
+  let lat_rng = Sim.Rng.split rng in
+  let latency = latency_model lat_rng topo cfg.latency in
+  let net =
+    Cluster.Net.create engine (Sim.Rng.split rng) topo ~latency
+      ~clock_of:(fun id -> clocks.(id))
+  in
+  let window_start = cfg.warmup in
+  let window_end = cfg.warmup +. cfg.duration in
+  let horizon = window_end +. cfg.drain in
+  (* --- stats --- *)
+  let hist = Stats.Hist.create () in
+  let committed = ref 0 and gave_up = ref 0 and attempts = ref 0 in
+  let dropped = ref 0 in
+  let aborts = Hashtbl.create 16 in
+  let series = Stats.Series.create ?width:cfg.series_width () in
+  let chk = Checker.Rsg.create () in
+  (* --- servers --- *)
+  let servers =
+    List.map
+      (fun id ->
+        let srv = P.make_server (Cluster.Net.ctx net id) in
+        Cluster.Net.set_handler net id
+          ~cost:(fun m -> P.msg_cost cfg.cost m)
+          ~handler:(fun ~src m -> P.server_handle srv ~src m);
+        srv)
+      (Cluster.Topology.servers topo)
+  in
+  (* --- replicas (replicated protocols only) --- *)
+  List.iter
+    (fun id ->
+      let rep = P.make_replica (Cluster.Net.ctx net id) in
+      Cluster.Net.set_handler net id
+        ~cost:(fun m -> P.msg_cost cfg.cost m)
+        ~handler:(fun ~src m -> P.replica_handle rep ~src m))
+    (Cluster.Topology.replicas topo);
+  (* --- clients --- *)
+  let all_clients = ref [] in
+  let in_window t = t >= window_start && t < window_end in
+  List.iter
+    (fun id ->
+      let ctx = Cluster.Net.ctx net id in
+      let gen_rng = Sim.Rng.split rng in
+      let retry_rng = Sim.Rng.split rng in
+      let inflight = Hashtbl.create 64 in
+      (* forward declaration dance: the client references [report],
+         which resubmits through the client *)
+      let client_ref = ref None in
+      let client () = Option.get !client_ref in
+      let resubmit p =
+        p.p_attempt_start <- Sim.Engine.now engine;
+        incr attempts;
+        P.submit (client ()) p.p_txn
+      in
+      let report (o : Outcome.t) =
+        match Hashtbl.find_opt inflight o.txn.Txn.id with
+        | None -> () (* duplicate report; ignore *)
+        | Some p ->
+          let now = Sim.Engine.now engine in
+          (match o.status with
+           | Outcome.Committed ->
+             Hashtbl.remove inflight o.txn.Txn.id;
+             if in_window p.p_first_start then begin
+               incr committed;
+               Stats.Hist.add hist (now -. p.p_first_start);
+               Stats.Series.add series now
+             end;
+             if cfg.check <> No_check then
+               Checker.Rsg.record_commit chk ~txn:o.txn.Txn.id
+                 ~start:p.p_attempt_start ~finish:now
+                 ~reads:(List.map (fun (k, vid, _) -> (k, vid)) o.reads)
+                 ~writes:o.writes
+           | Outcome.Aborted reason ->
+             if in_window p.p_first_start then
+               bump aborts (Outcome.reason_to_string reason) 1;
+             p.p_attempts <- p.p_attempts + 1;
+             if p.p_attempts > cfg.max_retries then begin
+               Hashtbl.remove inflight o.txn.Txn.id;
+               if in_window p.p_first_start then incr gave_up
+             end
+             else begin
+               let backoff =
+                 cfg.retry_backoff
+                 *. float_of_int (1 lsl min 6 (p.p_attempts - 1))
+                 *. (0.5 +. Sim.Rng.float retry_rng 1.0)
+               in
+               Sim.Engine.schedule engine ~delay:backoff (fun () -> resubmit p)
+             end)
+      in
+      let cl = P.make_client ctx ~report in
+      client_ref := Some cl;
+      all_clients := cl :: !all_clients;
+      Cluster.Net.set_handler net id
+        ~cost:(fun _ -> Cost.client cfg.cost)
+        ~handler:(fun ~src m -> P.client_handle cl ~src m);
+      (* open-loop Poisson arrivals *)
+      let rate = cfg.offered_load /. float_of_int cfg.n_clients in
+      let rec arrival () =
+        let now = Sim.Engine.now engine in
+        if now < window_end then begin
+          if Hashtbl.length inflight < cfg.max_inflight then begin
+            let txn = w.Workload_sig.gen gen_rng ~client:id in
+            let p =
+              { p_txn = txn; p_first_start = now; p_attempt_start = now; p_attempts = 0 }
+            in
+            Hashtbl.replace inflight txn.Txn.id p;
+            incr attempts;
+            P.submit cl txn
+          end
+          else if in_window now then incr dropped;
+          Sim.Engine.schedule engine
+            ~delay:(Sim.Rng.exponential gen_rng ~mean:(1.0 /. rate))
+            arrival
+        end
+      in
+      Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential gen_rng ~mean:(1.0 /. rate))
+        arrival)
+    (Cluster.Topology.clients topo);
+  (* --- go --- *)
+  Sim.Engine.run ~until:horizon engine;
+  (* --- collect --- *)
+  let check_result =
+    match cfg.check with
+    | No_check -> "skipped"
+    | (Serializable | Strict) as lvl ->
+      List.iter
+        (fun srv ->
+          List.iter
+            (fun (key, vids) -> Checker.Rsg.record_version_order chk key vids)
+            (P.server_version_orders srv))
+        servers;
+      (match Checker.Rsg.check chk ~strict:(lvl = Strict) with
+       | Checker.Rsg.Ok ->
+         Printf.sprintf "ok (%d txns)" (Checker.Rsg.n_committed chk)
+       | Checker.Rsg.Violation v -> "VIOLATION: " ^ v)
+  in
+  let counters = Hashtbl.create 16 in
+  let add_counters l =
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.replace counters k
+          (v +. Option.value ~default:0.0 (Hashtbl.find_opt counters k)))
+      l
+  in
+  List.iter (fun srv -> add_counters (P.server_counters srv)) servers;
+  List.iter (fun cl -> add_counters (P.client_counters cl)) !all_clients;
+  let msgs = Cluster.Net.messages_sent net in
+  {
+    protocol = (if label = "" then P.name else label);
+    workload = w.Workload_sig.name;
+    offered = cfg.offered_load;
+    committed = !committed;
+    gave_up = !gave_up;
+    attempts = !attempts;
+    aborts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) aborts [];
+    dropped = !dropped;
+    throughput = float_of_int !committed /. cfg.duration;
+    mean_latency = Stats.Hist.mean hist;
+    p50 = Stats.Hist.percentile hist 0.50;
+    p90 = Stats.Hist.percentile hist 0.90;
+    p99 = Stats.Hist.percentile hist 0.99;
+    messages = msgs;
+    msgs_per_commit =
+      (if !committed = 0 then 0.0 else float_of_int msgs /. float_of_int !committed);
+    max_utilization = Cluster.Net.max_server_utilization net ~duration:horizon;
+    counters = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [];
+    series = Stats.Series.rates series;
+    check_result;
+  }

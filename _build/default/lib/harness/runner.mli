@@ -1,0 +1,61 @@
+(** Experiment runner: open-loop Poisson clients with a
+    retry-until-committed policy over a simulated cluster, producing
+    throughput/latency/abort statistics and an optional history-checker
+    verdict. *)
+
+type latency_spec =
+  | Uniform of { one_way : float; jitter : float }
+  | Asymmetric of { min_one_way : float; max_one_way : float; jitter : float }
+  | Geo_replicas of { local : float; wide : float; jitter : float }
+      (** replica nodes live in a remote datacenter: any path touching a
+          replica pays the wide-area one-way delay *)
+
+type check_level = No_check | Serializable | Strict
+
+type config = {
+  seed : int;
+  n_servers : int;
+  n_clients : int;
+  offered_load : float;  (** transactions/second, whole system *)
+  duration : float;      (** measurement window (simulated seconds) *)
+  warmup : float;
+  drain : float;
+  max_inflight : int;    (** per-client open-loop back-off threshold *)
+  max_retries : int;
+  retry_backoff : float;
+  cost : Cost.t;
+  latency : latency_spec;
+  max_clock_offset : float;
+  max_clock_drift : float;
+  check : check_level;
+  series_width : float option;
+  replicas_per_server : int;
+      (** replica nodes per server, for replicated protocols (default 0) *)
+}
+
+val default : config
+
+type result = {
+  protocol : string;
+  workload : string;
+  offered : float;
+  committed : int;   (** transactions started in-window that committed *)
+  gave_up : int;     (** exceeded [max_retries] *)
+  attempts : int;    (** all submissions, including warmup and retries *)
+  aborts : (string * int) list;  (** in-window aborted attempts by reason *)
+  dropped : int;     (** arrivals suppressed by the back-off threshold *)
+  throughput : float;
+  mean_latency : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  messages : int;
+  msgs_per_commit : float;
+  max_utilization : float;  (** busiest server's CPU utilization *)
+  counters : (string * float) list;  (** protocol-specific, summed *)
+  series : (float * float) list;     (** commit rate over time *)
+  check_result : string;  (** "ok (...)", "VIOLATION: ...", or "skipped" *)
+}
+
+(** Run one simulation. [label] overrides the protocol's display name. *)
+val run : ?label:string -> Protocol.t -> Workload_sig.t -> config -> result

@@ -1,0 +1,8 @@
+(* A workload is a named generator of transactions. Generators draw
+   from a per-client random stream the harness provides, so runs are
+   deterministic and independent of client interleaving. *)
+
+type t = {
+  name : string;
+  gen : Sim.Rng.t -> client:Kernel.Types.node_id -> Kernel.Txn.t;
+}

@@ -1,0 +1,1 @@
+lib/kernel/outcome.ml: Fmt Ts Txn Types

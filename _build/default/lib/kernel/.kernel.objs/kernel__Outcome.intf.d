@@ -1,0 +1,1 @@
+lib/kernel/outcome.mli: Fmt Ts Txn Types

@@ -1,0 +1,1 @@
+lib/kernel/ts.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/kernel/ts.mli: Fmt

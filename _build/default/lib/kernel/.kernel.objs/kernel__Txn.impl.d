@@ -1,0 +1,1 @@
+lib/kernel/txn.ml: Fmt List Option Types

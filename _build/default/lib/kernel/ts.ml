@@ -1,0 +1,32 @@
+(* Timestamps combine a physical time (integer nanoseconds of the issuing
+   node's local clock) with the client identifier, making them unique and
+   totally ordered (§4.1 of the paper: ties on the physical component are
+   broken by client id). *)
+
+type t = { time : int; cid : int }
+
+let zero = { time = 0; cid = 0 }
+let infinity = { time = max_int; cid = max_int }
+
+let make ~time ~cid = { time; cid }
+
+let compare a b =
+  let c = Int.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.cid b.cid
+
+let equal a b = compare a b = 0
+let max a b = if compare a b >= 0 then a else b
+let min a b = if compare a b <= 0 then a else b
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+(* The smallest timestamp strictly greater than [t] with the same client
+   id: used by the server-side refinement rule t_w = max(t, curr.t_r + 1)
+   (Alg 4.2 line 10), where "+ 1" bumps the physical component. *)
+let succ t = { t with time = t.time + 1 }
+
+let pp ppf t = Fmt.pf ppf "%d.%d" t.time t.cid
+let to_string t = Fmt.str "%a" pp t

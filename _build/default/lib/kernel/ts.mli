@@ -1,0 +1,28 @@
+(** Unique, totally ordered transaction timestamps: a physical-clock
+    component (integer nanoseconds) plus the issuing client's id as a
+    tie-breaker (paper §4.1). *)
+
+type t = { time : int; cid : int }
+
+val zero : t
+val infinity : t
+
+val make : time:int -> cid:int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+(** [succ t] is the smallest timestamp strictly greater than [t] that
+    keeps the same client id (bumps the physical component by 1 ns). *)
+val succ : t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,25 @@
+(* Core vocabulary shared by every layer of the system.
+
+   Keys are integers; the key space is partitioned across servers by the
+   placement function in [Cluster.Topology]. Values are integers — the
+   checker only needs to distinguish versions, and payload size (which
+   matters for the CPU/network cost model) is carried separately on each
+   operation as [bytes]. *)
+
+type key = int
+type value = int
+
+type node_id = int
+(** Nodes are numbered 0 .. n-1; servers first, then clients (see
+    [Cluster.Topology]). *)
+
+type op =
+  | Read of key
+  | Write of key * value
+
+let op_key = function Read k -> k | Write (k, _) -> k
+let is_write = function Write _ -> true | Read _ -> false
+
+let pp_op ppf = function
+  | Read k -> Fmt.pf ppf "R(%d)" k
+  | Write (k, v) -> Fmt.pf ppf "W(%d=%d)" k v

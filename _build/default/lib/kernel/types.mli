@@ -1,0 +1,16 @@
+(** Core vocabulary: keys, values, node ids, operations. *)
+
+type key = int
+type value = int
+
+(** Nodes are numbered 0..n-1: servers first, then clients (see
+    [Cluster.Topology]). *)
+type node_id = int
+
+type op =
+  | Read of key
+  | Write of key * value
+
+val op_key : op -> key
+val is_write : op -> bool
+val pp_op : op Fmt.t

@@ -1,0 +1,1 @@
+lib/mvstore/locks.ml: Hashtbl Kernel List Queue Ts Types

@@ -1,0 +1,1 @@
+lib/mvstore/locks.mli: Kernel Ts Types

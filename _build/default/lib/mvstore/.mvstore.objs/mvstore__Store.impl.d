@@ -1,0 +1,1 @@
+lib/mvstore/store.ml: Hashtbl Kernel List Ts Types

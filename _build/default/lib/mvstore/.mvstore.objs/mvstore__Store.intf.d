@@ -1,0 +1,1 @@
+lib/mvstore/store.mli: Kernel Ts Types

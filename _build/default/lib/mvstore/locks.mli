@@ -1,0 +1,32 @@
+(** Per-server lock table for the d2PL baselines: shared/exclusive
+    modes, re-entrant acquisition, sole-holder upgrade, FIFO waiters
+    granted by callback. *)
+
+open Kernel
+
+type mode = Shared | Exclusive
+type owner = { txn : int; ts : Ts.t }
+type t
+
+val create : unit -> t
+
+val holders : t -> Types.key -> (owner * mode) list
+
+(** Grant immediately or report the conflicting owners (no-wait). *)
+val try_acquire :
+  t -> Types.key -> owner:owner -> mode:mode -> [ `Granted | `Conflict of owner list ]
+
+(** Grant immediately, or queue and call [notify] when granted
+    (wound-wait "wait" arm); returns the current conflicting owners
+    when queued. *)
+val acquire_or_wait :
+  t -> Types.key -> owner:owner -> mode:mode -> notify:(unit -> unit) ->
+  [ `Granted | `Waiting of owner list ]
+
+(** Drop [txn]'s holds and queued waits on [key]; promotes waiters. *)
+val release : t -> Types.key -> txn:int -> unit
+
+(** Same as [release]; used when wounding a victim. *)
+val force_release : t -> Types.key -> txn:int -> unit
+
+val held_by : t -> Types.key -> txn:int -> bool

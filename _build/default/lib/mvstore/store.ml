@@ -1,0 +1,202 @@
+(* The multi-versioned key-value store of Algorithm 4.2.
+
+   Each key holds a chain of versions ordered by creation (newest
+   first). A version carries the (t_w, t_r) timestamp pair the paper's
+   refinement rules maintain:
+
+     - a write creates a version with t_w = t_r = max(t, curr.t_r + 1);
+     - a read bumps the current version's t_r to max(t, curr.t_r).
+
+   Versions are "undecided" until the creating transaction commits;
+   aborted versions are unlinked immediately. The same store also
+   serves the baseline protocols, which need timestamp-ordered insertion
+   (MVTO) and committed-snapshot reads; those entry points live here too
+   so that every protocol exercises one storage substrate.
+
+   Version ids are globally unique across all store instances of a run
+   (a simulation is single-threaded), which is what lets the checker
+   correlate reads and writes across servers. *)
+
+open Kernel
+
+type status = Undecided | Committed
+
+type version = {
+  vid : int;
+  value : Types.value;
+  mutable tw : Ts.t;
+  mutable tr : Ts.t;
+  mutable status : status;
+  writer : int;  (* id of the creating transaction; 0 = initial version *)
+  mutable parked : (version -> unit) list;
+      (* MVTO readers waiting for this version's decision *)
+}
+
+type t = {
+  tbl : (Types.key, version list ref) Hashtbl.t;
+      (* newest-first chains; every chain ends with the initial version *)
+  mutable created : int;  (* versions created by this store (stats) *)
+}
+
+let vid_counter = ref 0
+
+let reset_vids () = vid_counter := 0
+
+let fresh_vid () =
+  incr vid_counter;
+  !vid_counter
+
+let create () = { tbl = Hashtbl.create 1024; created = 0 }
+
+let initial_version () =
+  {
+    vid = fresh_vid ();
+    value = 0;
+    tw = Ts.zero;
+    tr = Ts.zero;
+    status = Committed;
+    writer = 0;
+    parked = [];
+  }
+
+let chain t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some c -> c
+  | None ->
+    let c = ref [ initial_version () ] in
+    Hashtbl.add t.tbl key c;
+    c
+
+let most_recent t key =
+  match !(chain t key) with
+  | v :: _ -> v
+  | [] -> assert false (* chains always end with the initial version *)
+
+(* Newest committed version (skips undecided heads). *)
+let most_recent_committed t key =
+  let rec find = function
+    | [] -> assert false
+    | v :: rest -> if v.status = Committed then v else find rest
+  in
+  find !(chain t key)
+
+(* --- NCC execution (Alg 4.2) ------------------------------------- *)
+
+(* Execute a write with pre-assigned timestamp [ts]: create an
+   undecided version ordered after the current most recent one. *)
+let write t key value ~ts ~writer =
+  let c = chain t key in
+  let curr = List.hd !c in
+  let tw = Ts.max ts (Ts.succ curr.tr) in
+  let v =
+    { vid = fresh_vid (); value; tw; tr = tw; status = Undecided; writer; parked = [] }
+  in
+  c := v :: !c;
+  t.created <- t.created + 1;
+  v
+
+(* Execute a read with pre-assigned timestamp [ts] against the most
+   recent version, refining its t_r. [refine:false] serves the value
+   without moving t_r — used for the read half of a fused same-shot
+   read-modify-write, whose serialization point is the write's t_w. *)
+let read ?(refine = true) t key ~ts =
+  let curr = most_recent t key in
+  if refine then curr.tr <- Ts.max ts curr.tr;
+  curr
+
+(* --- Commitment --------------------------------------------------- *)
+
+let commit_version v =
+  v.status <- Committed;
+  let waiters = v.parked in
+  v.parked <- [];
+  List.iter (fun f -> f v) waiters
+
+(* Unlink an aborted version from its chain. *)
+let abort_version t key v =
+  let c = chain t key in
+  c := List.filter (fun v' -> v'.vid <> v.vid) !c;
+  let waiters = v.parked in
+  v.parked <- [];
+  List.iter (fun f -> f v) waiters
+
+(* --- Smart retry support (Alg 4.4) -------------------------------- *)
+
+(* The version immediately preceding [v] in the current chain (i.e. the
+   one [v] was ordered after, accounting for unlinked aborts). *)
+let prev_version t key v =
+  let rec find = function
+    | [] | [ _ ] -> None
+    | newer :: older :: rest ->
+      if newer.vid = v.vid then Some older else find (older :: rest)
+  in
+  find !(chain t key)
+
+(* The version created immediately after [v] on [key], if any. *)
+let next_version t key v =
+  let rec find = function
+    | [] | [ _ ] -> None
+    | newer :: older :: rest ->
+      if older.vid = v.vid then Some newer else find (older :: rest)
+  in
+  find !(chain t key)
+
+(* --- Timestamp-ordered access (MVTO / TAPIR baselines) ------------ *)
+
+(* Latest version (committed or undecided) with tw <= ts. Timestamps
+   below the initial version (possible with negatively skewed clocks)
+   resolve to the chain terminator. *)
+let version_at t key ~ts =
+  let rec find = function
+    | [] -> None
+    | [ oldest ] -> Some oldest
+    | v :: rest -> if Ts.(v.tw <= ts) then Some v else find rest
+  in
+  find !(chain t key)
+
+(* Insert a version in tw order (MVTO writes can land mid-chain). *)
+let insert_ordered t key value ~tw ~writer =
+  let c = chain t key in
+  let v =
+    { vid = fresh_vid (); value; tw; tr = tw; status = Undecided; writer; parked = [] }
+  in
+  let rec ins = function
+    | [] -> [ v ]
+    | newer :: rest when Ts.(newer.tw > tw) -> newer :: ins rest
+    | rest -> v :: rest
+  in
+  c := ins !c;
+  t.created <- t.created + 1;
+  v
+
+(* Park a callback to run when [v] is decided. *)
+let park v f = v.parked <- f :: v.parked
+
+(* --- Introspection / GC ------------------------------------------- *)
+
+let versions_created t = t.created
+
+(* Committed version ids of a key, oldest first (for the checker). *)
+let committed_order t key =
+  List.rev_map (fun v -> v.vid)
+    (List.filter (fun v -> v.status = Committed) !(chain t key))
+
+let all_committed_orders t =
+  Hashtbl.fold (fun key _ acc -> (key, committed_order t key) :: acc) t.tbl []
+
+(* Drop committed versions beyond the [keep] newest entries of each
+   chain; undecided versions are never dropped. *)
+let gc ?(keep = 8) t =
+  Hashtbl.iter
+    (fun _ c ->
+      let rec trim i = function
+        | [] -> []
+        | v :: rest ->
+          if i < keep || v.status = Undecided then v :: trim (i + 1) rest
+          else if rest = [] then [ v ] (* keep the chain terminator *)
+          else trim (i + 1) rest
+      in
+      c := trim 0 !c)
+    t.tbl
+
+let chain_length t key = List.length !(chain t key)

@@ -1,0 +1,73 @@
+(** Multi-versioned key-value store implementing the version-chain and
+    timestamp-refinement rules of the paper's Algorithm 4.2, with
+    timestamp-ordered entry points for the MVTO/TAPIR baselines. *)
+
+open Kernel
+
+type status = Undecided | Committed
+
+type version = {
+  vid : int;  (** globally unique across stores within one run *)
+  value : Types.value;
+  mutable tw : Ts.t;
+  mutable tr : Ts.t;
+  mutable status : status;
+  writer : int;  (** creating transaction id; 0 = initial version *)
+  mutable parked : (version -> unit) list;
+}
+
+type t
+
+(** Reset the global version-id counter (between independent runs). *)
+val reset_vids : unit -> unit
+
+val create : unit -> t
+
+val most_recent : t -> Types.key -> version
+val most_recent_committed : t -> Types.key -> version
+
+(** NCC write (Alg 4.2): creates an undecided version with
+    [tw = tr = max ts (succ curr.tr)], ordered after the current head. *)
+val write : t -> Types.key -> Types.value -> ts:Ts.t -> writer:int -> version
+
+(** NCC read (Alg 4.2): reads the most recent version, refining its
+    [tr] to [max ts tr] unless [refine:false] (fused read-modify-write
+    reads serve the value without moving [tr]). *)
+val read : ?refine:bool -> t -> Types.key -> ts:Ts.t -> version
+
+(** Flip a version to committed and run its parked callbacks. *)
+val commit_version : version -> unit
+
+(** Unlink an aborted version and run its parked callbacks. *)
+val abort_version : t -> Types.key -> version -> unit
+
+(** The version created immediately after [v] on this key, if any
+    (smart-retry rule, Alg 4.4). *)
+val next_version : t -> Types.key -> version -> version option
+
+(** The version immediately preceding [v] in the current chain (aborted
+    predecessors are unlinked, so this is the live predecessor). *)
+val prev_version : t -> Types.key -> version -> version option
+
+(** Latest version (any status) with [tw <= ts]. *)
+val version_at : t -> Types.key -> ts:Ts.t -> version option
+
+(** Insert an undecided version in tw order (MVTO writes). *)
+val insert_ordered : t -> Types.key -> Types.value -> tw:Ts.t -> writer:int -> version
+
+(** Register a callback to run when the version is decided. *)
+val park : version -> (version -> unit) -> unit
+
+val versions_created : t -> int
+
+(** Committed version ids of a key, oldest first. *)
+val committed_order : t -> Types.key -> int list
+
+val all_committed_orders : t -> (Types.key * int list) list
+
+(** Drop old committed versions beyond [keep] per chain (never the
+    chain terminator or undecided versions). Do not use in runs whose
+    history will be checked. *)
+val gc : ?keep:int -> t -> unit
+
+val chain_length : t -> Types.key -> int

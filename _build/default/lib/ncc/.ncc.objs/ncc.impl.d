@@ -1,0 +1,1 @@
+lib/ncc/ncc.ml: Client Harness Msg Server

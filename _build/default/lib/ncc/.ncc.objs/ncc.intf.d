@@ -1,0 +1,1 @@
+lib/ncc/ncc.mli: Client Harness Msg Server

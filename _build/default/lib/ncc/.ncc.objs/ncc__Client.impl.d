@@ -1,0 +1,1 @@
+lib/ncc/client.ml: Cluster Float Hashtbl Kernel List Msg Option Outcome Ts Txn Types

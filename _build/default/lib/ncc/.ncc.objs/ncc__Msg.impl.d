@@ -1,0 +1,1 @@
+lib/ncc/msg.ml: Array Harness Kernel List Ts Types

@@ -1,0 +1,1 @@
+lib/ncc/server.ml: Array Cluster Fun Hashtbl Kernel List Msg Mvstore Ts Types

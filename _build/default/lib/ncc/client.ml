@@ -1,0 +1,351 @@
+(* NCC client-side coordinator (Alg 4.1): pre-assigns asynchrony-aware
+   timestamps (§4.3), drives shots, runs the safeguard over the
+   (t_w, t_r) pairs in responses, falls back to smart retry (§4.4), and
+   finishes with asynchronous commit/abort messages. Read-only
+   transactions use the single-round fast path of §4.5: no commit phase
+   at all.
+
+   Fault injection for the recovery experiment (Fig 7c): when
+   [fail_commits_after = Some tf], a transaction started before [tf]
+   whose decision point falls at or after [tf] sends no commit/abort
+   messages (and skips smart retry, so the backup coordinator's
+   safeguard-only recovery reaches the same decision). *)
+
+open Kernel
+
+type phase = Executing | Retrying
+
+type inflight = {
+  f_txn : Txn.t;
+  f_wire : int;
+  f_ts : Ts.t;
+  f_is_ro : bool;
+  f_start : float;  (* true time at submission *)
+  mutable f_phase : phase;
+  mutable f_shots : Txn.shot list;  (* remaining static shots *)
+  mutable f_dynamic : Txn.continuation option;  (* interactive phase *)
+  mutable f_final : bool;  (* the shot in flight is the last one *)
+  mutable f_awaiting : int;
+  mutable f_results : Msg.op_result list;  (* newest first *)
+  mutable f_flag : [ `Ok | `Early | `Ro ];
+  mutable f_participants : Types.node_id list;
+  f_sent_ops : (Types.node_id, int) Hashtbl.t;  (* cumulative ops per server *)
+  mutable f_contacted : Types.node_id list;
+  mutable f_sr_awaiting : int;
+  mutable f_sr_ok : bool;
+  mutable f_sr_ts : Ts.t;
+}
+
+type t = {
+  ctx : Msg.msg Cluster.Net.ctx;
+  cfg : Msg.config;
+  report : Outcome.t -> unit;
+  inflight : (int, inflight) Hashtbl.t;  (* wire id -> state *)
+  attempts : (int, int) Hashtbl.t;       (* txn id -> attempt counter *)
+  delta : (Types.node_id, float) Hashtbl.t;  (* clock/delay gap, ns EWMA *)
+  tro : (Types.node_id, Ts.t) Hashtbl.t;     (* latest-write knowledge *)
+  mutable n_pass : int;       (* safeguard passed directly *)
+  mutable n_sr_commit : int;  (* committed through smart retry *)
+  mutable n_sr_abort : int;
+  mutable n_sg_abort : int;   (* safeguard aborts without smart retry *)
+  mutable n_early : int;
+  mutable n_ro_abort : int;
+  mutable n_ro_commit : int;
+  mutable last_time : int;  (* per-client monotonic timestamp floor *)
+}
+
+let create cfg ctx ~report =
+  {
+    ctx;
+    cfg;
+    report;
+    inflight = Hashtbl.create 64;
+    attempts = Hashtbl.create 64;
+    delta = Hashtbl.create 16;
+    tro = Hashtbl.create 16;
+    n_pass = 0;
+    n_sr_commit = 0;
+    n_sr_abort = 0;
+    n_sg_abort = 0;
+    n_early = 0;
+    n_ro_abort = 0;
+    n_ro_commit = 0;
+    last_time = 0;
+  }
+
+let tro_of t server = Option.value ~default:Ts.zero (Hashtbl.find_opt t.tro server)
+
+(* Asynchrony-aware timestamp (§4.3): client clock plus the largest
+   measured client->server gap among this transaction's participants,
+   so the pre-assigned timestamp lands close to the server-local time
+   at which the farthest participant will execute the request. *)
+let pre_assign t ~participants ~is_ro =
+  let base = Cluster.Net.local_ns t.ctx in
+  let shift =
+    if not t.cfg.async_aware then 0.0
+    else
+      List.fold_left
+        (fun acc s -> Float.max acc (Option.value ~default:0.0 (Hashtbl.find_opt t.delta s)))
+        0.0 participants
+  in
+  let time = base + int_of_float shift in
+  let time =
+    (* a read-only transaction whose timestamp is >= every known t_ro is
+       guaranteed to pass the safeguard absent ro_aborts (§4.5) *)
+    if is_ro then
+      List.fold_left (fun acc s -> max acc ((tro_of t s).Ts.time + 1)) time participants
+    else time
+  in
+  (* timestamps must be unique (§4.1): a client issuing two transactions
+     within one clock tick must not reuse a timestamp, or neither looks
+     "late" to the early-abort rule and cross-waits can deadlock *)
+  let time = max time (t.last_time + 1) in
+  t.last_time <- time;
+  Ts.make ~time ~cid:t.ctx.self
+
+(* Servers the transaction's *static* shots touch (the asynchrony and
+   read-only pre-assignment heuristics work from these; interactive
+   shots may add participants later). *)
+let participants_of t txn =
+  List.map fst (Cluster.Topology.ops_by_server t.ctx.topo (Txn.ops txn))
+
+let commit_suppressed t f =
+  match t.cfg.fail_commits_after with
+  | None -> false
+  | Some tf -> f.f_start < tf && Cluster.Net.now t.ctx >= tf
+
+let send_decide t f ~commit =
+  if (not f.f_is_ro) && not (commit_suppressed t f) then
+    List.iter
+      (fun s -> t.ctx.send ~dst:s (Msg.Decide { d_wire = f.f_wire; d_commit = commit }))
+      f.f_contacted
+
+let outcome_of f ~status ~commit_ts =
+  let reads =
+    List.filter_map
+      (fun (r : Msg.op_result) ->
+        if r.r_is_write then None else Some (r.r_key, r.r_vid, r.r_value))
+      (List.rev f.f_results)
+  in
+  let writes =
+    List.filter_map
+      (fun (r : Msg.op_result) ->
+        if r.r_is_write then Some (r.r_key, r.r_vid) else None)
+      (List.rev f.f_results)
+  in
+  { Outcome.txn = f.f_txn; status; reads; writes; commit_ts }
+
+let finish_commit t f ~commit_ts =
+  Hashtbl.remove t.inflight f.f_wire;
+  if f.f_is_ro then t.n_ro_commit <- t.n_ro_commit + 1;
+  send_decide t f ~commit:true;
+  (* results are returned to the user in parallel with the commit
+     messages, without waiting for acknowledgments (Alg 4.1) *)
+  t.report (outcome_of f ~status:Outcome.Committed ~commit_ts:(Some commit_ts))
+
+let finish_abort t f reason =
+  Hashtbl.remove t.inflight f.f_wire;
+  send_decide t f ~commit:false;
+  t.report (outcome_of f ~status:(Outcome.Aborted reason) ~commit_ts:None)
+
+let send_shot t f shot =
+  let by_server = Cluster.Topology.ops_by_server t.ctx.topo shot in
+  f.f_awaiting <- List.length by_server;
+  let backup =
+    (* first participant overall; an all-dynamic transaction has no
+       static participants, so fall back to this shot's first server *)
+    match f.f_participants with
+    | s :: _ -> s
+    | [] -> (match by_server with (s, _) :: _ -> s | [] -> 0)
+  in
+  List.iter
+    (fun (server, ops) ->
+      if not (List.mem server f.f_contacted) then
+        f.f_contacted <- server :: f.f_contacted;
+      if not (List.mem server f.f_participants) then
+        f.f_participants <- f.f_participants @ [ server ];
+      let sent =
+        List.length ops
+        + Option.value ~default:0 (Hashtbl.find_opt f.f_sent_ops server)
+      in
+      Hashtbl.replace f.f_sent_ops server sent;
+      t.ctx.send ~dst:server
+        (Msg.Exec
+           {
+             x_wire = f.f_wire;
+             x_ops = ops;
+             x_ts = f.f_ts;
+             x_ro = f.f_is_ro;
+             x_tro = tro_of t server;
+             x_client_ns = Cluster.Net.local_ns t.ctx;
+             x_backup = backup;
+             x_cohorts = f.f_participants;
+             x_expected_ops = sent;
+             x_is_last = f.f_final;
+             x_bytes = f.f_txn.Txn.bytes;
+           }))
+    by_server
+
+(* --- safeguard (Alg 4.1, SAFEGUARDCHECK) --------------------------- *)
+
+let safeguard = Msg.safeguard
+
+let start_smart_retry t f ~ts =
+  f.f_phase <- Retrying;
+  f.f_sr_ts <- ts;
+  f.f_sr_awaiting <- List.length f.f_contacted;
+  f.f_sr_ok <- true;
+  List.iter
+    (fun s -> t.ctx.send ~dst:s (Msg.Retry { sr_wire = f.f_wire; sr_ts = ts }))
+    f.f_contacted
+
+(* Reads observed so far, oldest first (input for interactive
+   continuations). *)
+let reads_so_far f =
+  List.rev_map
+    (fun (r : Msg.op_result) -> (r.Msg.r_key, r.Msg.r_value))
+    (List.filter (fun (r : Msg.op_result) -> not r.Msg.r_is_write) f.f_results)
+
+(* Send the next step of the transaction's logic: static shots first,
+   then the interactive continuation; fall through to the safeguard
+   when the logic is complete. *)
+let rec advance t f =
+  match f.f_shots with
+  | shot :: rest ->
+    f.f_shots <- rest;
+    if rest = [] && f.f_dynamic = None then f.f_final <- true;
+    send_shot t f shot
+  | [] ->
+    (match f.f_dynamic with
+     | Some k ->
+       (match k (reads_so_far f) with
+        | `Shot shot -> send_shot t f shot
+        | `Last shot ->
+          f.f_dynamic <- None;
+          f.f_final <- true;
+          send_shot t f shot
+        | `Done ->
+          f.f_dynamic <- None;
+          decide t f)
+     | None -> decide t f)
+
+and shot_complete t f =
+  match f.f_flag with
+  | `Early ->
+    t.n_early <- t.n_early + 1;
+    finish_abort t f Outcome.Early_abort
+  | `Ro ->
+    t.n_ro_abort <- t.n_ro_abort + 1;
+    finish_abort t f Outcome.Ro_abort
+  | `Ok -> advance t f
+
+and decide t f =
+  if f.f_results = [] then finish_commit t f ~commit_ts:f.f_ts (* empty txn *)
+  else begin
+       let ok, tw_max = safeguard f.f_results in
+       if ok then begin
+         t.n_pass <- t.n_pass + 1;
+         finish_commit t f ~commit_ts:tw_max
+       end
+       else if t.cfg.smart_retry && (not f.f_is_ro) && not (commit_suppressed t f)
+       then start_smart_retry t f ~ts:tw_max
+       else begin
+         t.n_sg_abort <- t.n_sg_abort + 1;
+         finish_abort t f Outcome.Safeguard_reject
+       end
+  end
+
+let submit t txn =
+  let attempt =
+    let a = 1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts txn.Txn.id) in
+    Hashtbl.replace t.attempts txn.Txn.id a;
+    a
+  in
+  let wire = Msg.wire_id ~txn_id:txn.Txn.id ~attempt in
+  let participants = participants_of t txn in
+  (* The read-only fast path trades aborts for messages (§4.5). The
+     first attempt uses it; if it fails (stale t_ro under a
+     write-intensive workload), later attempts fall back to the
+     read-write protocol, which never ro_aborts. Without the fallback a
+     hot write stream can starve read-only transactions outright. *)
+  let is_ro = txn.Txn.read_only && t.cfg.use_ro && attempt = 1 in
+  let ts = pre_assign t ~participants ~is_ro in
+  let f =
+    {
+      f_txn = txn;
+      f_wire = wire;
+      f_ts = ts;
+      f_is_ro = is_ro;
+      f_start = Cluster.Net.now t.ctx;
+      f_phase = Executing;
+      f_shots = txn.Txn.shots;
+      f_dynamic = txn.Txn.dynamic;
+      f_final = false;
+      f_awaiting = 0;
+      f_results = [];
+      f_flag = `Ok;
+      f_participants = participants;
+      f_sent_ops = Hashtbl.create 4;
+      f_contacted = [];
+      f_sr_awaiting = 0;
+      f_sr_ok = true;
+      f_sr_ts = Ts.zero;
+    }
+  in
+  Hashtbl.replace t.inflight wire f;
+  advance t f
+
+let handle_exec_reply t (r : Msg.exec_reply) =
+  (* asynchrony tracking and latest-write knowledge are updated even
+     for stale replies *)
+  let sample = float_of_int (r.e_server_ns - r.e_client_ns) in
+  let prev = Option.value ~default:sample (Hashtbl.find_opt t.delta r.e_server) in
+  Hashtbl.replace t.delta r.e_server ((0.8 *. prev) +. (0.2 *. sample));
+  let known = Option.value ~default:Ts.zero (Hashtbl.find_opt t.tro r.e_server) in
+  Hashtbl.replace t.tro r.e_server (Ts.max known r.e_latest_write_tw);
+  match Hashtbl.find_opt t.inflight r.e_wire with
+  | None -> ()
+  | Some f when f.f_phase <> Executing -> ()
+  | Some f ->
+    (match r.e_flag with
+     | Msg.Ok -> f.f_results <- List.rev_append r.e_results f.f_results
+     | Msg.Early_abort -> f.f_flag <- `Early
+     | Msg.Ro_abort -> if f.f_flag = `Ok then f.f_flag <- `Ro);
+    f.f_awaiting <- f.f_awaiting - 1;
+    if f.f_awaiting = 0 then shot_complete t f
+
+let handle_retry_reply t ~wire ~ok =
+  match Hashtbl.find_opt t.inflight wire with
+  | None -> ()
+  | Some f when f.f_phase <> Retrying -> ()
+  | Some f ->
+    if not ok then f.f_sr_ok <- false;
+    f.f_sr_awaiting <- f.f_sr_awaiting - 1;
+    if f.f_sr_awaiting = 0 then
+      if f.f_sr_ok then begin
+        t.n_sr_commit <- t.n_sr_commit + 1;
+        finish_commit t f ~commit_ts:f.f_sr_ts
+      end
+      else begin
+        t.n_sr_abort <- t.n_sr_abort + 1;
+        finish_abort t f Outcome.Safeguard_reject
+      end
+
+let handle t ~src:_ msg =
+  match msg with
+  | Msg.Exec_reply r -> handle_exec_reply t r
+  | Msg.Retry_reply { sr_wire; sr_ok; _ } -> handle_retry_reply t ~wire:sr_wire ~ok:sr_ok
+  | Msg.Exec _ | Msg.Decide _ | Msg.Retry _ | Msg.Recover_nudge _ | Msg.Recover_query _
+  | Msg.Recover_info _ ->
+    () (* server-bound; not for clients *)
+
+let counters t =
+  [
+    ("sg_pass", float_of_int t.n_pass);
+    ("sr_commit", float_of_int t.n_sr_commit);
+    ("sr_abort", float_of_int t.n_sr_abort);
+    ("sg_abort", float_of_int t.n_sg_abort);
+    ("early_abort_txns", float_of_int t.n_early);
+    ("ro_abort_txns", float_of_int t.n_ro_abort);
+    ("ro_commit_txns", float_of_int t.n_ro_commit);
+  ]

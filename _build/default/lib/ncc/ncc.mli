@@ -1,0 +1,54 @@
+(** NCC: Natural Concurrency Control (Lu et al., OSDI 2023).
+
+    Strictly serializable concurrency control that executes naturally
+    consistent transactions at the cost of non-transactional operations:
+    one round trip, lock-free, non-blocking in the common case. The
+    three design pillars are non-blocking execution (Alg 4.2), decoupled
+    response control with response timing control (§4.2), and the
+    timestamp-based safeguard (Alg 4.1), complemented by smart retry
+    (Alg 4.4), asynchrony-aware timestamps (§4.3), a single-round
+    read-only fast path (§4.5) and backup-coordinator recovery (§4.6).
+
+    The protocol values plug into {!Harness.Runner} and
+    {!Harness.Testbed}. *)
+
+(** Wire protocol and configuration. *)
+module Msg : module type of Msg
+
+(** Server actor: execution, response timing control, smart retry,
+    recovery. *)
+module Server : module type of Server
+
+(** Client-side coordinator: timestamp pre-assignment, shots, the
+    safeguard, smart retry, commit/abort. *)
+module Client : module type of Client
+
+val default_config : Msg.config
+
+(** Build a protocol value with a custom configuration (used for the
+    ablations and the failure-injection experiment). *)
+val make_protocol :
+  ?config:Msg.config -> ?name:string -> unit -> Harness.Protocol.t
+
+(** Full NCC: read-only fast path, smart retry, asynchrony-aware
+    timestamps, early abort. *)
+val protocol : Harness.Protocol.t
+
+(** NCC-RW: the read-only fast path disabled; every transaction runs the
+    read-write protocol (the paper's §5 comparison variant). *)
+val protocol_rw : Harness.Protocol.t
+
+(** Ablation: smart retry disabled (safeguard misses abort outright). *)
+val protocol_no_smart_retry : Harness.Protocol.t
+
+(** Ablation: plain client-clock timestamps (no asynchrony awareness). *)
+val protocol_no_async_aware : Harness.Protocol.t
+
+(** Paper-faithful variant: the read-only freshness fence at server
+    granularity (more fast-path aborts under writes; see Fig 7a). *)
+val protocol_server_fence : Harness.Protocol.t
+
+(** Negative control: response timing control disabled. Re-opens the
+    timestamp-inversion pitfall (§3); exists so the tests can show the
+    pitfall is real and that the checker catches it. *)
+val protocol_no_rtc : Harness.Protocol.t

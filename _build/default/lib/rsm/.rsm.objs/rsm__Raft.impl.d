@@ -1,0 +1,1 @@
+lib/rsm/raft.ml: Hashtbl Kernel List Option Sim Vec

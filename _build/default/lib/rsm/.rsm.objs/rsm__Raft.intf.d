@@ -1,0 +1,1 @@
+lib/rsm/raft.mli: Kernel Sim

@@ -1,0 +1,1 @@
+lib/rsm/vec.ml: Array List

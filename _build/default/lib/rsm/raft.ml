@@ -1,0 +1,337 @@
+(* A compact Raft-style replicated state machine, the fault-tolerance
+   substrate the paper's system model assumes under every server
+   (§2.1: "servers are fault-tolerant... replicated via replicated
+   state machines, e.g. Paxos").
+
+   The implementation covers the core protocol: randomized election
+   timeouts, terms, vote safety (up-to-date log check), heartbeats, log
+   replication with the consistency check, majority commit, and
+   monotonic application of committed entries. Log compaction,
+   snapshotting and reconfiguration are out of scope.
+
+   The module is transport-agnostic: the host supplies [send] and a
+   timer, and learns about committed commands through [on_commit]. The
+   replicated concurrency-control layer (Ncc_r) embeds one instance per
+   replica-group member; the Raft unit tests drive groups of instances
+   over the simulated network directly. *)
+
+type 'cmd entry = { e_term : int; e_cmd : 'cmd }
+
+type 'cmd msg =
+  | Request_vote of { rv_term : int; rv_last_index : int; rv_last_term : int }
+  | Vote of { v_term : int; v_granted : bool }
+  | Append_entries of {
+      ae_term : int;
+      ae_prev_index : int;
+      ae_prev_term : int;
+      ae_entries : 'cmd entry list;
+      ae_commit : int;
+    }
+  | Append_reply of { ar_term : int; ar_ok : bool; ar_match : int }
+
+type role = Follower | Candidate | Leader
+
+type 'cmd t = {
+  self : Kernel.Types.node_id;
+  peers : Kernel.Types.node_id list;  (* the group, excluding self *)
+  send : dst:Kernel.Types.node_id -> 'cmd msg -> unit;
+  timer : delay:float -> (unit -> unit) -> unit;
+  rng : Sim.Rng.t;
+  on_commit : index:int -> 'cmd -> unit;
+  election_timeout : float;
+  heartbeat_every : float;
+  (* persistent state *)
+  mutable term : int;
+  mutable voted_for : Kernel.Types.node_id option;
+  log : 'cmd entry Vec.t;
+  (* volatile *)
+  mutable role : role;
+  mutable commit_index : int;  (* highest committed log index; 0 = none *)
+  mutable last_applied : int;
+  mutable votes : int;
+  mutable last_heard : float;  (* local notion of time, advanced per tick *)
+  mutable clock : float;
+  mutable ticks : int;
+  (* leader state: next index / match index per peer *)
+  next_index : (Kernel.Types.node_id, int) Hashtbl.t;
+  match_index : (Kernel.Types.node_id, int) Hashtbl.t;
+  mutable append_scheduled : bool;  (* a batched broadcast is pending *)
+  mutable last_append : float;
+  mutable stopped : bool;
+}
+
+let last_index t = Vec.length t.log
+
+let term_at t idx = if idx = 0 then 0 else (Vec.get t.log (idx - 1)).e_term
+
+let entries_from t idx =
+  List.init (last_index t - idx + 1) (fun i -> Vec.get t.log (idx - 1 + i))
+
+let is_leader t = t.role = Leader
+
+let rec apply_committed t =
+  if t.last_applied < t.commit_index then begin
+    t.last_applied <- t.last_applied + 1;
+    let e = Vec.get t.log (t.last_applied - 1) in
+    t.on_commit ~index:t.last_applied e.e_cmd;
+    apply_committed t
+  end
+
+let become_follower t term =
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None
+  end;
+  t.role <- Follower
+
+(* --- leader side ----------------------------------------------------- *)
+
+let send_append t ~dst =
+  let ni = Option.value ~default:(last_index t + 1) (Hashtbl.find_opt t.next_index dst) in
+  let prev = ni - 1 in
+  t.send ~dst
+    (Append_entries
+       {
+         ae_term = t.term;
+         ae_prev_index = prev;
+         ae_prev_term = term_at t prev;
+         ae_entries = (if ni > last_index t then [] else entries_from t ni);
+         ae_commit = t.commit_index;
+       })
+
+let broadcast_append t =
+  t.last_append <- t.clock;
+  List.iter (fun dst -> send_append t ~dst) t.peers
+
+(* Batch proposals: a broadcast is scheduled at most once per
+   quarter-heartbeat, so a burst of proposals rides in one
+   Append_entries per follower instead of one each. Without batching,
+   follower CPUs saturate on per-message costs under load and
+   replication latency collapses. *)
+let schedule_append t =
+  if not t.append_scheduled then begin
+    t.append_scheduled <- true;
+    t.timer ~delay:(t.heartbeat_every /. 4.0) (fun () ->
+        t.append_scheduled <- false;
+        if t.role = Leader && not t.stopped then broadcast_append t)
+  end
+
+let become_leader t =
+  t.role <- Leader;
+  List.iter
+    (fun p ->
+      Hashtbl.replace t.next_index p (last_index t + 1);
+      Hashtbl.replace t.match_index p 0)
+    t.peers;
+  broadcast_append t
+
+(* A majority of the group (including self) has the entry: commit. Only
+   entries of the current term commit by counting (Raft's rule). *)
+let advance_commit t =
+  let n = last_index t in
+  let majority = ((List.length t.peers + 1) / 2) + 1 in
+  let rec try_idx idx =
+    if idx > t.commit_index then
+      if term_at t idx = t.term then begin
+        let replicas =
+          1
+          + List.length
+              (List.filter
+                 (fun p -> Option.value ~default:0 (Hashtbl.find_opt t.match_index p) >= idx)
+                 t.peers)
+        in
+        if replicas >= majority then begin
+          t.commit_index <- idx;
+          apply_committed t
+        end
+        else try_idx (idx - 1)
+      end
+      else try_idx (idx - 1)
+  in
+  try_idx n
+
+(* Propose a command; only valid on the leader (check [is_leader] —
+   leadership can lapse under extreme delays). Returns the log index
+   the command occupies. *)
+let propose t cmd =
+  if t.role <> Leader then invalid_arg "Raft.propose: not the leader";
+  Vec.add_last t.log { e_term = t.term; e_cmd = cmd };
+  let idx = last_index t in
+  if t.peers = [] then begin
+    (* singleton group: commit immediately *)
+    t.commit_index <- idx;
+    apply_committed t
+  end
+  else schedule_append t;
+  idx
+
+(* --- elections --------------------------------------------------------- *)
+
+let start_election t =
+  t.role <- Candidate;
+  t.term <- t.term + 1;
+  t.voted_for <- Some t.self;
+  t.votes <- 1;
+  t.last_heard <- t.clock;
+  if t.peers = [] then become_leader t
+  else
+    List.iter
+      (fun dst ->
+        t.send ~dst
+          (Request_vote
+             {
+               rv_term = t.term;
+               rv_last_index = last_index t;
+               rv_last_term = term_at t (last_index t);
+             }))
+      t.peers
+
+(* --- message handling --------------------------------------------------- *)
+
+let handle_request_vote t ~src ~rv_term ~rv_last_index ~rv_last_term =
+  if rv_term > t.term then become_follower t rv_term;
+  let up_to_date =
+    rv_last_term > term_at t (last_index t)
+    || (rv_last_term = term_at t (last_index t) && rv_last_index >= last_index t)
+  in
+  let granted =
+    rv_term = t.term
+    && up_to_date
+    && (t.voted_for = None || t.voted_for = Some src)
+  in
+  if granted then begin
+    t.voted_for <- Some src;
+    t.last_heard <- t.clock
+  end;
+  t.send ~dst:src (Vote { v_term = t.term; v_granted = granted })
+
+let handle_vote t ~v_term ~v_granted =
+  if v_term > t.term then become_follower t v_term
+  else if t.role = Candidate && v_term = t.term && v_granted then begin
+    t.votes <- t.votes + 1;
+    let majority = ((List.length t.peers + 1) / 2) + 1 in
+    if t.votes >= majority then become_leader t
+  end
+
+let handle_append t ~src ~ae_term ~ae_prev_index ~ae_prev_term ~ae_entries ~ae_commit =
+  if ae_term > t.term || (ae_term = t.term && t.role = Candidate) then
+    become_follower t ae_term;
+  if ae_term < t.term then
+    t.send ~dst:src (Append_reply { ar_term = t.term; ar_ok = false; ar_match = 0 })
+  else begin
+    t.last_heard <- t.clock;
+    (* consistency check *)
+    if ae_prev_index > last_index t || term_at t ae_prev_index <> ae_prev_term then
+      t.send ~dst:src (Append_reply { ar_term = t.term; ar_ok = false; ar_match = 0 })
+    else begin
+      (* drop conflicting suffix, append new entries *)
+      List.iteri
+        (fun i e ->
+          let idx = ae_prev_index + 1 + i in
+          if idx <= last_index t then begin
+            if (Vec.get t.log (idx - 1)).e_term <> e.e_term then begin
+              Vec.truncate t.log (idx - 1);
+              Vec.add_last t.log e
+            end
+          end
+          else Vec.add_last t.log e)
+        ae_entries;
+      let match_idx = ae_prev_index + List.length ae_entries in
+      if ae_commit > t.commit_index then begin
+        t.commit_index <- min ae_commit (last_index t);
+        apply_committed t
+      end;
+      t.send ~dst:src (Append_reply { ar_term = t.term; ar_ok = true; ar_match = match_idx })
+    end
+  end
+
+let handle_append_reply t ~src ~ar_term ~ar_ok ~ar_match =
+  if ar_term > t.term then become_follower t ar_term
+  else if t.role = Leader && ar_term = t.term then
+    if ar_ok then begin
+      Hashtbl.replace t.match_index src
+        (max ar_match (Option.value ~default:0 (Hashtbl.find_opt t.match_index src)));
+      Hashtbl.replace t.next_index src (ar_match + 1);
+      advance_commit t;
+      (* keep streaming if the follower is behind, through the batcher
+         (an immediate resend here ping-pongs at RTT rate and floods
+         the followers under a continuous proposal stream) *)
+      if ar_match < last_index t then schedule_append t
+    end
+    else begin
+      let ni = Option.value ~default:2 (Hashtbl.find_opt t.next_index src) in
+      Hashtbl.replace t.next_index src (max 1 (ni - 1));
+      send_append t ~dst:src
+    end
+
+let handle t ~src msg =
+  if not t.stopped then
+    match msg with
+    | Request_vote { rv_term; rv_last_index; rv_last_term } ->
+      handle_request_vote t ~src ~rv_term ~rv_last_index ~rv_last_term
+    | Vote { v_term; v_granted } -> handle_vote t ~v_term ~v_granted
+    | Append_entries { ae_term; ae_prev_index; ae_prev_term; ae_entries; ae_commit } ->
+      handle_append t ~src ~ae_term ~ae_prev_index ~ae_prev_term ~ae_entries ~ae_commit
+    | Append_reply { ar_term; ar_ok; ar_match } ->
+      handle_append_reply t ~src ~ar_term ~ar_ok ~ar_match
+
+(* --- timers -------------------------------------------------------------- *)
+
+(* One periodic tick drives both heartbeats (leader) and election
+   timeouts (everyone else). The tick cadence is a quarter of the
+   heartbeat interval. *)
+let rec tick t =
+  if not t.stopped then begin
+    let dt = t.heartbeat_every /. 4.0 in
+    t.clock <- t.clock +. dt;
+    t.ticks <- t.ticks + 1;
+    (match t.role with
+     | Leader ->
+       (* heartbeat only when the pipe has been quiet *)
+       if t.ticks mod 4 = 0 && t.clock -. t.last_append >= t.heartbeat_every then
+         broadcast_append t
+     | Follower | Candidate ->
+       let jitter =
+         t.election_timeout *. (1.0 +. Sim.Rng.float t.rng 1.0)
+       in
+       if t.clock -. t.last_heard > jitter then start_election t);
+    t.timer ~delay:dt (fun () -> tick t)
+  end
+
+let stop t = t.stopped <- true
+
+let create ?(election_timeout = 5e-3) ?(heartbeat_every = 1e-3) ~self ~peers ~send
+    ~timer ~rng ~on_commit ?(initial_leader = false) () =
+  let t =
+    {
+      self;
+      peers;
+      send;
+      timer;
+      rng;
+      on_commit;
+      election_timeout;
+      heartbeat_every;
+      term = 0;
+      voted_for = None;
+      log = Vec.create ();
+      role = Follower;
+      commit_index = 0;
+      last_applied = 0;
+      votes = 0;
+      last_heard = 0.0;
+      clock = 0.0;
+      ticks = 0;
+      next_index = Hashtbl.create 8;
+      match_index = Hashtbl.create 8;
+      append_scheduled = false;
+      last_append = -1.0;
+      stopped = false;
+    }
+  in
+  if initial_leader then begin
+    t.term <- 1;
+    become_leader t
+  end;
+  tick t;
+  t

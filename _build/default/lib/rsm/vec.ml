@@ -1,0 +1,26 @@
+(* Minimal growable array (OCaml 5.1 has no Dynarray): the Raft log. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let add_last t x =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * Array.length t.data) in
+    let fresh = Array.make cap x in
+    Array.blit t.data 0 fresh 0 t.len;
+    t.data <- fresh
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+(* Keep only the first [n] elements. *)
+let truncate t n = if n < t.len then t.len <- max 0 n
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

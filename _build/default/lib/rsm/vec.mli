@@ -1,0 +1,13 @@
+(** Minimal growable array (stand-in for 5.2's Dynarray). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val add_last : 'a t -> 'a -> unit
+
+(** Keep only the first [n] elements. *)
+val truncate : 'a t -> int -> unit
+
+val to_list : 'a t -> 'a list

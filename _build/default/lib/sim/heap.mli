@@ -1,0 +1,14 @@
+(** Array-based binary min-heap with deterministic FIFO order among
+    equal priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val peek : 'a t -> 'a option
+val peek_prio : 'a t -> float option
+
+(** Remove and return the minimum element with its priority. *)
+val pop : 'a t -> (float * 'a) option

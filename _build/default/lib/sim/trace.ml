@@ -1,0 +1,57 @@
+(* A global, off-by-default event tracer with a fixed-capacity ring
+   buffer. Protocol debugging in a discrete-event simulator is all
+   about "what happened just before things went wrong"; the ring keeps
+   the recent past cheaply and dumps it on demand (see ncc_sim's
+   --trace flag).
+
+   Call sites guard with [active ()] so a disabled tracer costs one
+   branch. The tracer is deliberately global: a simulation is
+   single-threaded and spans many modules. *)
+
+type event = { ev_time : float; ev_cat : string; ev_msg : string }
+
+type state = {
+  mutable buf : event array;
+  mutable next : int;   (* next write position *)
+  mutable count : int;  (* total events ever emitted *)
+  mutable on : bool;
+}
+
+let st = { buf = [||]; next = 0; count = 0; on = false }
+
+let enable ?(capacity = 4096) () =
+  st.buf <- Array.make capacity { ev_time = 0.0; ev_cat = ""; ev_msg = "" };
+  st.next <- 0;
+  st.count <- 0;
+  st.on <- true
+
+let disable () = st.on <- false
+
+let active () = st.on
+
+let emit ~time ~cat msg =
+  if st.on && Array.length st.buf > 0 then begin
+    st.buf.(st.next) <- { ev_time = time; ev_cat = cat; ev_msg = msg };
+    st.next <- (st.next + 1) mod Array.length st.buf;
+    st.count <- st.count + 1
+  end
+
+let emitted () = st.count
+
+(* The retained events, oldest first. *)
+let events () =
+  let cap = Array.length st.buf in
+  let n = min st.count cap in
+  List.init n (fun i -> st.buf.((st.next - n + i + cap) mod cap))
+
+let dump ?last ppf =
+  let evs = events () in
+  let evs =
+    match last with
+    | Some k when List.length evs > k ->
+      List.filteri (fun i _ -> i >= List.length evs - k) evs
+    | Some _ | None -> evs
+  in
+  List.iter
+    (fun e -> Format.fprintf ppf "%10.6f  %-8s %s@." e.ev_time e.ev_cat e.ev_msg)
+    evs

@@ -1,0 +1,20 @@
+(** Global, off-by-default event tracer with a fixed-capacity ring
+    buffer — keeps the recent past of a simulation for debugging.
+    Call sites guard with [active ()]; disabled tracing costs one
+    branch. *)
+
+type event = { ev_time : float; ev_cat : string; ev_msg : string }
+
+val enable : ?capacity:int -> unit -> unit
+val disable : unit -> unit
+val active : unit -> bool
+val emit : time:float -> cat:string -> string -> unit
+
+(** Total events emitted since [enable] (including overwritten ones). *)
+val emitted : unit -> int
+
+(** Retained events, oldest first. *)
+val events : unit -> event list
+
+(** Pretty-print the retained events ([last] trims to the final k). *)
+val dump : ?last:int -> Format.formatter -> unit

@@ -1,0 +1,73 @@
+(* Log-bucketed histogram for latency-like quantities. Bucket i covers
+   [lo * ratio^i, lo * ratio^(i+1)); with ratio 1.04 the relative
+   quantile error is under 4%, plenty for p50/p99 reporting. *)
+
+type t = {
+  lo : float;
+  log_ratio : float;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(lo = 1e-6) ?(hi = 1e3) ?(ratio = 1.04) () =
+  let log_ratio = log ratio in
+  let n = int_of_float (ceil (log (hi /. lo) /. log_ratio)) + 2 in
+  {
+    lo;
+    log_ratio;
+    buckets = Array.make n 0;
+    count = 0;
+    sum = 0.0;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+  }
+
+let bucket_index t v =
+  if v <= t.lo then 0
+  else
+    let i = int_of_float (log (v /. t.lo) /. t.log_ratio) + 1 in
+    if i >= Array.length t.buckets then Array.length t.buckets - 1 else i
+
+let add t v =
+  t.buckets.(bucket_index t v) <- t.buckets.(bucket_index t v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+(* Upper edge of the bucket holding the q-quantile (q in [0,1]). *)
+let percentile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int t.count)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and result = ref t.max_v in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= target then begin
+             result := t.lo *. exp (t.log_ratio *. float_of_int i);
+             raise Exit
+           end)
+         t.buckets
+     with Exit -> ());
+    Float.min !result t.max_v |> Float.max t.min_v
+  end
+
+let merge ~into src =
+  if Array.length into.buckets <> Array.length src.buckets then
+    invalid_arg "Hist.merge: shape mismatch";
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v

@@ -1,0 +1,15 @@
+(** Log-bucketed histogram (≈4% relative quantile error by default). *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?ratio:float -> unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** [percentile t 0.99] is the 99th percentile estimate. *)
+val percentile : t -> float -> float
+
+val merge : into:t -> t -> unit

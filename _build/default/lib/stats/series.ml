@@ -1,0 +1,27 @@
+(* Fixed-width time buckets accumulating counts — used for
+   throughput-over-time plots (failure-recovery experiment, Fig 7c). *)
+
+type t = { width : float; mutable buckets : int array }
+
+let create ?(width = 1.0) () = { width; buckets = Array.make 64 0 }
+
+let add t time =
+  if time >= 0.0 then begin
+    let i = int_of_float (time /. t.width) in
+    if i >= Array.length t.buckets then begin
+      let fresh = Array.make (max (i + 1) (2 * Array.length t.buckets)) 0 in
+      Array.blit t.buckets 0 fresh 0 (Array.length t.buckets);
+      t.buckets <- fresh
+    end;
+    t.buckets.(i) <- t.buckets.(i) + 1
+  end
+
+let width t = t.width
+
+(* (bucket start time, count / width) pairs up to the last non-empty
+   bucket. *)
+let rates t =
+  let last = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then last := i) t.buckets;
+  List.init (!last + 1) (fun i ->
+      (float_of_int i *. t.width, float_of_int t.buckets.(i) /. t.width))

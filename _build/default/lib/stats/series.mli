@@ -1,0 +1,10 @@
+(** Fixed-width time buckets (events per bucket → rates over time). *)
+
+type t
+
+val create : ?width:float -> unit -> t
+val add : t -> float -> unit
+val width : t -> float
+
+(** (bucket start, events/second) pairs, up to the last non-empty bucket. *)
+val rates : t -> (float * float) list

@@ -1,0 +1,1 @@
+lib/workload/facebook_tao.ml: Float Harness Kernel List Micro Sim Txn Types

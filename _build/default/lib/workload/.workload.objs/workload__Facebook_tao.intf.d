@@ -1,0 +1,1 @@
+lib/workload/facebook_tao.mli: Harness Micro

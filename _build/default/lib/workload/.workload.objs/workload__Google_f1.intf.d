@@ -1,0 +1,1 @@
+lib/workload/google_f1.mli: Harness Micro

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Harness Kernel List Sim Txn Types

@@ -1,0 +1,1 @@
+lib/workload/micro.mli: Harness

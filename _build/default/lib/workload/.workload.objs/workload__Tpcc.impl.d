@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Harness Hashtbl Kernel List Micro Option Sim Txn Types

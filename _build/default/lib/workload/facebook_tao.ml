@@ -1,0 +1,55 @@
+(* Facebook-TAO workload (paper Fig 4): overwhelmingly read-only
+   (write fraction 0.2%), association-to-object read ratio 9.5:1,
+   read-only transactions touching 1-1000 keys (power-law sized
+   association lists), single-key writes, 1-4 KB values. *)
+
+open Kernel
+
+let params : Micro.params =
+  {
+    Micro.n_keys = 1_000_000;
+    zipf_theta = 0.8;
+    write_fraction = 0.002;
+    ro_keys_min = 1;
+    ro_keys_max = 1000;
+    rw_keys_min = 1;
+    rw_keys_max = 1;
+    write_ops_fraction = 1.0;
+    value_bytes_mean = 2048.0;
+    value_bytes_stddev = 800.0;
+    label = "facebook-tao";
+  }
+
+(* Association-list sizes follow a power law: most reads touch a
+   handful of keys, a heavy tail touches hundreds (the "much larger
+   read transactions" §5.3 mentions). *)
+let assoc_size rng =
+  let u = Sim.Rng.float rng 1.0 in
+  let size = int_of_float (Float.pow 1000.0 (u *. u *. u)) in
+  max 1 (min 1000 size)
+
+let make () : Harness.Workload_sig.t =
+  let zipf = Sim.Rng.zipf_create ~n:params.Micro.n_keys ~theta:params.Micro.zipf_theta in
+  let gen rng ~client =
+    let bytes =
+      int_of_float
+        (Sim.Rng.gaussian rng ~mean:params.Micro.value_bytes_mean
+           ~stddev:params.Micro.value_bytes_stddev)
+    in
+    if Sim.Rng.flip rng params.Micro.write_fraction then
+      (* single-key object/association write *)
+      let k = Sim.Rng.zipf_draw rng zipf in
+      Txn.make ~label:"tao-w" ~bytes ~client
+        [ [ Types.Write (k, Micro.fresh_value ()) ] ]
+    else begin
+      (* object fetch plus its association list: 9.5:1 assoc-to-obj *)
+      let n = assoc_size rng in
+      let obj = Sim.Rng.zipf_draw rng zipf in
+      let assocs =
+        List.init n (fun i -> (obj + ((i + 1) * 7919)) mod params.Micro.n_keys)
+      in
+      Txn.make ~label:"tao-ro" ~bytes ~client
+        [ List.map (fun k -> Types.Read k) (obj :: assocs) ]
+    end
+  in
+  { Harness.Workload_sig.name = "facebook-tao"; gen }

@@ -1,0 +1,6 @@
+(** Facebook-TAO workload (paper Fig 4): write fraction 0.2%,
+    association-to-object ratio 9.5:1, power-law fan-out reads touching
+    1-1000 keys, single-key writes. *)
+
+val params : Micro.params
+val make : unit -> Harness.Workload_sig.t

@@ -1,0 +1,28 @@
+(* Google-F1 workload (paper Fig 4): read-dominated, one-shot, 1-10
+   keys per transaction, ~1.6 KB values, Zipf 0.8 over 1 M keys,
+   write fraction 0.3% (varied up to 30% by the Google-WF experiment). *)
+
+let params ?(write_fraction = 0.003) ?(n_keys = 1_000_000) () : Micro.params =
+  {
+    Micro.n_keys;
+    zipf_theta = 0.8;
+    write_fraction;
+    ro_keys_min = 1;
+    ro_keys_max = 10;
+    rw_keys_min = 1;
+    rw_keys_max = 10;
+    write_ops_fraction = 0.5;
+    value_bytes_mean = 1638.0;
+    value_bytes_stddev = 119.0;
+    label = "google-f1";
+  }
+
+let make ?write_fraction ?n_keys () =
+  Micro.make (params ?write_fraction ?n_keys ())
+
+(* Google-WF: the Fig 7a sweep reuses F1 with a raised write fraction. *)
+let make_wf ~write_fraction ?n_keys () =
+  Micro.make
+    { (params ~write_fraction ?n_keys ()) with
+      Micro.label = Printf.sprintf "google-wf-%.1f%%" (write_fraction *. 100.0)
+    }

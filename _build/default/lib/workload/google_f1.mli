@@ -1,0 +1,9 @@
+(** Google-F1 workload (paper Fig 4): one-shot, read-dominated
+    (write fraction 0.3%), 1-10 keys per transaction, ~1.6 KB values,
+    Zipf 0.8 over 1M keys. *)
+
+val params : ?write_fraction:float -> ?n_keys:int -> unit -> Micro.params
+val make : ?write_fraction:float -> ?n_keys:int -> unit -> Harness.Workload_sig.t
+
+(** Google-WF (Fig 7a): F1 with a raised write fraction. *)
+val make_wf : write_fraction:float -> ?n_keys:int -> unit -> Harness.Workload_sig.t

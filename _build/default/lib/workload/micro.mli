@@ -1,0 +1,24 @@
+(** Parameterized micro-workload over a Zipfian key space: a tunable
+    mix of read-only and read-write (one-shot) transactions. The
+    substrate behind the Google-F1 / write-fraction workloads and the
+    Fig 8 properties probes. *)
+
+type params = {
+  n_keys : int;
+  zipf_theta : float;
+  write_fraction : float;  (** fraction of transactions that write *)
+  ro_keys_min : int;
+  ro_keys_max : int;
+  rw_keys_min : int;
+  rw_keys_max : int;
+  write_ops_fraction : float;  (** write ops within a read-write txn *)
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+  label : string;
+}
+
+val make : params -> Harness.Workload_sig.t
+
+(** Globally unique write payload (lets the checker identify versions
+    by value in examples). *)
+val fresh_value : unit -> int

@@ -1,0 +1,190 @@
+(* TPC-C workload with the paper's setup (Fig 4): transaction mix
+   New-Order 44%, Payment 44%, Delivery 4%, Order-Status 4%,
+   Stock-Level 4%; 10 districts per warehouse; 8 warehouses per server.
+   Payment and Order-Status are multi-shot, as in the paper's modified
+   benchmark (§5.1); the rest are one-shot.
+
+   Rows live in the integer key space, encoded so that a warehouse's
+   rows are placed on its home server (key mod n_servers = home):
+
+     key = ((table << 34) + (wh << 20) + id) * n_servers + home
+
+   Order ids are drawn from a shared per-(warehouse, district) counter
+   that stands in for the database's D_NEXT_O_ID sequence: Order-Status
+   and Stock-Level read recently inserted orders. The district and
+   warehouse rows are the hot spots — Payment and New-Order both update
+   them, giving the medium-to-high contention regime of Fig 5. *)
+
+open Kernel
+
+type t = {
+  n_servers : int;
+  n_warehouses : int;
+  districts_per_wh : int;
+  items : int;
+  customers_per_district : int;
+  next_oid : (int * int, int) Hashtbl.t;  (* (wh, district) -> next order id *)
+}
+
+let create ?(warehouses_per_server = 8) ~n_servers () =
+  {
+    n_servers;
+    n_warehouses = warehouses_per_server * n_servers;
+    districts_per_wh = 10;
+    items = 100_000;
+    customers_per_district = 3_000;
+    next_oid = Hashtbl.create 256;
+  }
+
+(* table tags *)
+let t_warehouse = 0
+let t_district = 1
+let t_customer = 2
+let t_stock = 3
+let t_item = 4
+let t_order = 5
+let t_order_line = 6
+let t_new_order = 7
+
+let key t ~table ~wh ~id =
+  let home = wh mod t.n_servers in
+  ((((table lsl 34) + (wh lsl 20) + id) * t.n_servers) + home)
+
+let warehouse_key t wh = key t ~table:t_warehouse ~wh ~id:0
+let district_key t wh d = key t ~table:t_district ~wh ~id:d
+let customer_key t wh d c = key t ~table:t_customer ~wh ~id:((d * 4096) + c)
+let stock_key t wh i = key t ~table:t_stock ~wh ~id:i
+
+(* the item catalog is partitioned round-robin (read-only data) *)
+let item_key t i = key t ~table:t_item ~wh:(i mod t.n_warehouses) ~id:i / 1
+
+let order_key t wh d oid = key t ~table:t_order ~wh ~id:((d lsl 14) + (oid land 0x3fff))
+
+let order_line_key t wh d oid line =
+  key t ~table:t_order_line ~wh ~id:((d lsl 18) + ((oid land 0x3fff) lsl 4) + line)
+
+let new_order_key t wh d oid =
+  key t ~table:t_new_order ~wh ~id:((d lsl 14) + (oid land 0x3fff))
+
+let take_oid t wh d =
+  let oid = Option.value ~default:1 (Hashtbl.find_opt t.next_oid (wh, d)) in
+  Hashtbl.replace t.next_oid (wh, d) (oid + 1);
+  oid
+
+let latest_oid t wh d =
+  Option.value ~default:1 (Hashtbl.find_opt t.next_oid (wh, d)) - 1
+
+let wv () = Micro.fresh_value ()
+
+(* --- the five transaction profiles -------------------------------- *)
+
+let new_order t rng ~client ~wh =
+  let d = Sim.Rng.int_range rng 0 (t.districts_per_wh - 1) in
+  let c = Sim.Rng.int_range rng 0 (t.customers_per_district - 1) in
+  let n_items = Sim.Rng.int_range rng 5 15 in
+  let oid = take_oid t wh d in
+  let line_ops =
+    List.concat
+      (List.init n_items (fun line ->
+           (* 1% of the items come from a remote warehouse *)
+           let supply_wh =
+             if Sim.Rng.flip rng 0.01 && t.n_warehouses > 1 then
+               Sim.Rng.int_range rng 0 (t.n_warehouses - 1)
+             else wh
+           in
+           let item = Sim.Rng.int_range rng 0 (t.items - 1) in
+           [
+             Types.Read (item_key t item);
+             Types.Read (stock_key t supply_wh item);
+             Types.Write (stock_key t supply_wh item, wv ());
+             Types.Write (order_line_key t wh d oid line, wv ());
+           ]))
+  in
+  let ops =
+    [
+      Types.Read (warehouse_key t wh);
+      Types.Read (district_key t wh d);
+      Types.Write (district_key t wh d, wv ());  (* D_NEXT_O_ID *)
+      Types.Read (customer_key t wh d c);
+      Types.Write (order_key t wh d oid, wv ());
+      Types.Write (new_order_key t wh d oid, wv ());
+    ]
+    @ line_ops
+  in
+  Txn.make ~label:"new_order" ~bytes:512 ~client [ ops ]
+
+(* Multi-shot: warehouse/district update first, then the customer
+   (found by name in real TPC-C, hence the extra round). *)
+let payment t rng ~client ~wh =
+  let d = Sim.Rng.int_range rng 0 (t.districts_per_wh - 1) in
+  (* 15% of payments are for a customer of a remote warehouse *)
+  let c_wh =
+    if Sim.Rng.flip rng 0.15 && t.n_warehouses > 1 then
+      Sim.Rng.int_range rng 0 (t.n_warehouses - 1)
+    else wh
+  in
+  let c = Sim.Rng.int_range rng 0 (t.customers_per_district - 1) in
+  let shot1 =
+    [
+      Types.Read (warehouse_key t wh);
+      Types.Write (warehouse_key t wh, wv ());  (* W_YTD *)
+      Types.Read (district_key t wh d);
+      Types.Write (district_key t wh d, wv ());  (* D_YTD *)
+    ]
+  in
+  let shot2 =
+    [
+      Types.Read (customer_key t c_wh d c);
+      Types.Write (customer_key t c_wh d c, wv ());  (* C_BALANCE *)
+    ]
+  in
+  Txn.make ~label:"payment" ~bytes:256 ~client [ shot1; shot2 ]
+
+(* Multi-shot read-only: customer lookup, then their latest order. *)
+let order_status t rng ~client ~wh =
+  let d = Sim.Rng.int_range rng 0 (t.districts_per_wh - 1) in
+  let c = Sim.Rng.int_range rng 0 (t.customers_per_district - 1) in
+  let oid = max 1 (latest_oid t wh d) in
+  let shot1 = [ Types.Read (customer_key t wh d c) ] in
+  let shot2 =
+    Types.Read (order_key t wh d oid)
+    :: List.init 8 (fun line -> Types.Read (order_line_key t wh d oid line))
+  in
+  Txn.make ~label:"order_status" ~bytes:128 ~client [ shot1; shot2 ]
+
+let delivery t rng ~client ~wh =
+  let ops =
+    List.concat
+      (List.init t.districts_per_wh (fun d ->
+           let oid = max 1 (latest_oid t wh d) in
+           let c = Sim.Rng.int_range rng 0 (t.customers_per_district - 1) in
+           [
+             Types.Read (new_order_key t wh d oid);
+             Types.Write (order_key t wh d oid, wv ());      (* carrier id *)
+             Types.Write (customer_key t wh d c, wv ());     (* balance *)
+           ]))
+  in
+  Txn.make ~label:"delivery" ~bytes:256 ~client [ ops ]
+
+(* Read-only: district cursor plus recently sold items' stock. *)
+let stock_level t rng ~client ~wh =
+  let d = Sim.Rng.int_range rng 0 (t.districts_per_wh - 1) in
+  let stock_reads =
+    List.init 20 (fun _ ->
+        Types.Read (stock_key t wh (Sim.Rng.int_range rng 0 (t.items - 1))))
+  in
+  Txn.make ~label:"stock_level" ~bytes:128 ~client
+    [ Types.Read (district_key t wh d) :: stock_reads ]
+
+let make ?(warehouses_per_server = 8) ~n_servers () : Harness.Workload_sig.t =
+  let t = create ~warehouses_per_server ~n_servers () in
+  let gen rng ~client =
+    let wh = Sim.Rng.int_range rng 0 (t.n_warehouses - 1) in
+    let dice = Sim.Rng.float rng 1.0 in
+    if dice < 0.44 then new_order t rng ~client ~wh
+    else if dice < 0.88 then payment t rng ~client ~wh
+    else if dice < 0.92 then delivery t rng ~client ~wh
+    else if dice < 0.96 then order_status t rng ~client ~wh
+    else stock_level t rng ~client ~wh
+  in
+  { Harness.Workload_sig.name = "tpcc"; gen }

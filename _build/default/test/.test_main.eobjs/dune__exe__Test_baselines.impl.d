@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Cluster Kernel List Mvstore Option Printf Sim String Ts Types

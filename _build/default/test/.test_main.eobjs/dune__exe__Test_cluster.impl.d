@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Kernel List QCheck QCheck_alcotest Sim Types

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Baselines Harness Kernel List Ncc Printf Sim String Workload

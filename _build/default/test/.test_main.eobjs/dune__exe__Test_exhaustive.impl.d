@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Checker Cluster Hashtbl Kernel List Mvstore Ncc Obj Outcome Printf Sim Txn Types

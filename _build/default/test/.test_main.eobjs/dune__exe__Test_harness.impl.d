@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cluster Harness Hashtbl Kernel List Ncc Option QCheck QCheck_alcotest Sim Ts Txn Types Workload

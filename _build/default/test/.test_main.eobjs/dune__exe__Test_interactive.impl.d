@@ -1,0 +1,1 @@
+test/test_interactive.ml: Alcotest Baselines Harness Kernel List Ncc Option Outcome Printf Sim String Txn Types

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Kernel List Ncc Outcome QCheck QCheck_alcotest Ts Txn Types

@@ -1,0 +1,1 @@
+test/test_ncc_client.ml: Alcotest Cluster Gen Hashtbl Kernel List Ncc QCheck QCheck_alcotest Sim Ts

@@ -1,0 +1,1 @@
+test/test_ncc_server.ml: Alcotest Cluster Kernel List Ncc Option Printf Sim Ts Types

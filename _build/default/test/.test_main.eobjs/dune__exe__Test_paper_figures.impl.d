@@ -1,0 +1,1 @@
+test/test_paper_figures.ml: Alcotest Baselines Checker Cluster Hashtbl Kernel List Mvstore Ncc Obj Outcome Printf Sim Txn Types

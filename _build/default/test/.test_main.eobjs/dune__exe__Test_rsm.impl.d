@@ -1,0 +1,1 @@
+test/test_rsm.ml: Alcotest Array Fun Harness Hashtbl Kernel List Ncc Ncc_r Option Printf QCheck QCheck_alcotest Rsm Sim String Workload

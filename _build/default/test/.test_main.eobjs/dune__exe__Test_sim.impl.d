@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fun Harness Hashtbl Kernel List Ncc Option QCheck QCheck_alcotest Sim

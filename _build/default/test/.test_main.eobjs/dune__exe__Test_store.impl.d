@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Kernel List Mvstore QCheck QCheck_alcotest Ts

@@ -1,0 +1,1 @@
+test/test_store_model.ml: Kernel List Mvstore Printf QCheck QCheck_alcotest String Ts

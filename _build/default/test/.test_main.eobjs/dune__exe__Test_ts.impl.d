@@ -1,0 +1,1 @@
+test/test_ts.ml: Alcotest Kernel List QCheck QCheck_alcotest Ts

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cluster Harness Kernel List Printf Sim Txn Types Workload

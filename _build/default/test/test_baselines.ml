@@ -1,0 +1,342 @@
+(* Baseline-protocol unit behaviours, each on a hand-driven rig:
+   dOCC's validation and contention window, d2PL's no-wait aborts and
+   wound-wait priorities, TAPIR's timestamp checks, MVTO's stale reads
+   and parked reads, Janus-CC's dependency tracking. *)
+
+open Kernel
+
+let ts t cid = Ts.make ~time:t ~cid
+
+let mk_ctx ?(self = 0) ~capture () =
+  let engine = Sim.Engine.create () in
+  ( engine,
+    {
+      Cluster.Net.self;
+      engine;
+      rng = Sim.Rng.create 1;
+      topo = Cluster.Topology.make ~n_servers:2 ~n_clients:2 ();
+      clock = Sim.Clock.perfect;
+      send = (fun ~dst msg -> capture (dst, msg));
+      timer = (fun ~delay f -> Sim.Engine.schedule engine ~delay f);
+    } )
+
+(* --- dOCC ----------------------------------------------------------- *)
+
+module Docc = Baselines.Docc
+
+let docc_rig () =
+  let sent = ref [] in
+  let _, ctx = mk_ctx ~capture:(fun m -> sent := !sent @ [ m ]) () in
+  (Docc.make_server ctx, sent)
+
+let docc_prepare_ok (s : Docc.server) sent =
+  List.filter_map
+    (fun (_, m) ->
+      match m with Docc.Prepare_reply { p_ok; _ } -> Some p_ok | _ -> None)
+    !sent
+  |> fun oks ->
+  ignore s;
+  oks
+
+let docc_validation_detects_stale_read () =
+  let s, sent = docc_rig () in
+  (* wire 1 reads key 0, wire 2 writes and commits it, wire 1 prepares *)
+  Docc.server_handle s ~src:2 (Docc.Exec { x_wire = 1; x_keys = [ 0 ]; x_bytes = 0 });
+  let vid =
+    match !sent with
+    | [ (_, Docc.Exec_reply { e_results = [ r ]; _ }) ] -> r.Baselines.Common.b_vid
+    | _ -> Alcotest.fail "expected exec reply"
+  in
+  Docc.server_handle s ~src:3
+    (Docc.Prepare
+       { p_wire = 2; p_ts = ts 5 3; p_reads = []; p_writes = [ (0, 99) ]; p_bytes = 0 });
+  Docc.server_handle s ~src:3 (Docc.Decide { d_wire = 2; d_commit = true });
+  Docc.server_handle s ~src:2
+    (Docc.Prepare
+       { p_wire = 1; p_ts = ts 6 2; p_reads = [ (0, vid) ]; p_writes = []; p_bytes = 0 });
+  match docc_prepare_ok s sent with
+  | [ true; false ] -> ()
+  | oks ->
+    Alcotest.fail
+      (Printf.sprintf "expected [true;false], got [%s]"
+         (String.concat ";" (List.map string_of_bool oks)))
+
+let docc_contention_window_aborts_reader () =
+  let s, sent = docc_rig () in
+  (* wire 1 prepares a write on key 0 (locks it); wire 2's read of key 0
+     cannot validate while the lock is held — the Fig 2a false abort *)
+  Docc.server_handle s ~src:2
+    (Docc.Prepare
+       { p_wire = 1; p_ts = ts 5 2; p_reads = []; p_writes = [ (0, 1) ]; p_bytes = 0 });
+  let vid =
+    (* reader fetched the (still) committed version before the prepare *)
+    (Mvstore.Store.most_recent_committed s.Docc.store 0).Mvstore.Store.vid
+  in
+  Docc.server_handle s ~src:3
+    (Docc.Prepare
+       { p_wire = 2; p_ts = ts 6 3; p_reads = [ (0, vid) ]; p_writes = []; p_bytes = 0 });
+  (match docc_prepare_ok s sent with
+   | [ true; false ] -> ()
+   | _ -> Alcotest.fail "reader should be blocked by the lock");
+  (* after the writer aborts, the same read validates again *)
+  Docc.server_handle s ~src:2 (Docc.Decide { d_wire = 1; d_commit = false });
+  Docc.server_handle s ~src:3
+    (Docc.Prepare
+       { p_wire = 3; p_ts = ts 7 3; p_reads = [ (0, vid) ]; p_writes = []; p_bytes = 0 });
+  match docc_prepare_ok s sent with
+  | [ true; false; true ] -> ()
+  | _ -> Alcotest.fail "read should validate after the abort"
+
+(* --- d2PL ------------------------------------------------------------ *)
+
+module D2pl = Baselines.D2pl
+
+let d2pl_rig variant =
+  let sent = ref [] in
+  let engine, ctx = mk_ctx ~capture:(fun m -> sent := !sent @ [ m ]) () in
+  (engine, D2pl.make_server variant ctx, sent)
+
+let acquire s ~src ~wire ~t ops =
+  D2pl.server_handle s ~src
+    (D2pl.Acquire
+       { a_wire = wire; a_ts = ts t src; a_ops = ops; a_exclusive = false; a_bytes = 0 })
+
+let d2pl_replies sent =
+  List.filter_map
+    (fun (_, m) ->
+      match m with D2pl.Acquire_reply { a_wire; a_ok; _ } -> Some (a_wire, a_ok) | _ -> None)
+    !sent
+
+let no_wait_aborts_on_conflict () =
+  let _, s, sent = d2pl_rig D2pl.No_wait in
+  acquire s ~src:2 ~wire:1 ~t:5 [ Types.Write (0, 1) ];
+  acquire s ~src:3 ~wire:2 ~t:6 [ Types.Read 0 ];
+  Alcotest.(check (list (pair int bool)))
+    "second fails immediately"
+    [ (1, true); (2, false) ]
+    (d2pl_replies sent);
+  (* release by commit, then the lock is free again *)
+  D2pl.server_handle s ~src:2 (D2pl.Decide { d_wire = 1; d_commit = true });
+  acquire s ~src:3 ~wire:3 ~t:7 [ Types.Read 0 ];
+  Alcotest.(check (pair int bool)) "after release" (3, true)
+    (List.nth (d2pl_replies sent) 2)
+
+let wound_wait_wounds_younger_holder () =
+  let engine, s, sent = d2pl_rig D2pl.Wound_wait in
+  (* younger (larger ts) holds the lock; an older requester arrives *)
+  acquire s ~src:2 ~wire:10 ~t:100 [ Types.Write (0, 1) ];
+  acquire s ~src:3 ~wire:20 ~t:50 [ Types.Write (0, 2) ];
+  Sim.Engine.run ~until:0.01 engine;
+  let wounds =
+    List.filter_map
+      (fun (dst, m) -> match m with D2pl.Wound { w_wire } -> Some (dst, w_wire) | _ -> None)
+      !sent
+  in
+  Alcotest.(check bool) "victim's client wounded" true (List.mem (2, 10) wounds);
+  (* victim aborts; the old requester's poll then grants and replies *)
+  D2pl.server_handle s ~src:2 (D2pl.Decide { d_wire = 10; d_commit = false });
+  Sim.Engine.run ~until:0.02 engine;
+  Alcotest.(check bool) "old requester eventually granted" true
+    (List.mem (20, true) (d2pl_replies sent))
+
+let wound_wait_younger_waits () =
+  let engine, s, sent = d2pl_rig D2pl.Wound_wait in
+  acquire s ~src:2 ~wire:10 ~t:50 [ Types.Write (0, 1) ];
+  acquire s ~src:3 ~wire:20 ~t:100 [ Types.Write (0, 2) ];
+  Sim.Engine.run ~until:0.01 engine;
+  let wounds =
+    List.filter (fun (_, m) -> match m with D2pl.Wound _ -> true | _ -> false) !sent
+  in
+  Alcotest.(check int) "no wound for older holder" 0 (List.length wounds);
+  Alcotest.(check bool) "younger still waiting" true
+    (not (List.mem_assoc 20 (d2pl_replies sent)));
+  D2pl.server_handle s ~src:2 (D2pl.Decide { d_wire = 10; d_commit = true });
+  Sim.Engine.run ~until:0.02 engine;
+  Alcotest.(check bool) "granted after release" true
+    (List.mem (20, true) (d2pl_replies sent))
+
+(* --- TAPIR ------------------------------------------------------------ *)
+
+module Tapir = Baselines.Tapir
+
+let tapir_rig () =
+  let sent = ref [] in
+  let _, ctx = mk_ctx ~capture:(fun m -> sent := !sent @ [ m ]) () in
+  (Tapir.make_server ctx, sent)
+
+let tapir_prepare s ~src ~wire ~t ops =
+  Tapir.server_handle s ~src
+    (Tapir.Prepare { p_wire = wire; p_ts = ts t src; p_ops = ops; p_bytes = 0 })
+
+let tapir_oks sent =
+  List.filter_map
+    (fun (_, m) ->
+      match m with Tapir.Prepare_reply { p_ok; _ } -> Some p_ok | _ -> None)
+    !sent
+
+let tapir_rejects_write_under_read () =
+  let s, sent = tapir_rig () in
+  tapir_prepare s ~src:2 ~wire:1 ~t:100 [ Types.Read 0 ];
+  (* a write below the read timestamp must abort *)
+  tapir_prepare s ~src:3 ~wire:2 ~t:50 [ Types.Write (0, 1) ];
+  (* a write above it is fine *)
+  tapir_prepare s ~src:3 ~wire:3 ~t:150 [ Types.Write (0, 2) ];
+  Alcotest.(check (list bool)) "read ok, low write rejected, high write ok"
+    [ true; false; true ] (tapir_oks sent)
+
+let tapir_read_aborts_on_pending () =
+  let s, sent = tapir_rig () in
+  tapir_prepare s ~src:2 ~wire:1 ~t:50 [ Types.Write (0, 1) ];
+  (* a read above the pending write aborts rather than waits *)
+  tapir_prepare s ~src:3 ~wire:2 ~t:100 [ Types.Read 0 ];
+  Alcotest.(check (list bool)) "pending write aborts the read" [ true; false ]
+    (tapir_oks sent)
+
+(* --- MVTO -------------------------------------------------------------- *)
+
+module Mvto = Baselines.Mvto
+
+let mvto_rig () =
+  let sent = ref [] in
+  let _, ctx = mk_ctx ~capture:(fun m -> sent := !sent @ [ m ]) () in
+  (Mvto.make_server ctx, sent)
+
+let mvto_exec s ~src ~wire ~t ops =
+  Mvto.server_handle s ~src (Mvto.Exec { x_wire = wire; x_ts = ts t src; x_ops = ops; x_bytes = 0 })
+
+let mvto_replies sent =
+  List.filter_map
+    (fun (_, m) ->
+      match m with
+      | Mvto.Exec_reply { e_wire; e_ok; e_results } -> Some (e_wire, e_ok, e_results)
+      | _ -> None)
+    !sent
+
+let mvto_reads_stale_versions () =
+  let s, sent = mvto_rig () in
+  mvto_exec s ~src:2 ~wire:1 ~t:100 [ Types.Write (0, 42) ];
+  Mvto.server_handle s ~src:2 (Mvto.Decide { d_wire = 1; d_commit = true });
+  (* a read BELOW the committed write still succeeds, returning the
+     initial version: MVTO reads never abort *)
+  mvto_exec s ~src:3 ~wire:2 ~t:50 [ Types.Read 0 ];
+  (match mvto_replies sent with
+   | [ _; (2, true, [ r ]) ] ->
+     Alcotest.(check int) "stale value served" 0 r.Baselines.Common.b_value
+   | _ -> Alcotest.fail "unexpected replies");
+  (* and a read above it sees the new value *)
+  mvto_exec s ~src:3 ~wire:3 ~t:150 [ Types.Read 0 ];
+  match List.rev (mvto_replies sent) with
+  | (3, true, [ r ]) :: _ ->
+    Alcotest.(check int) "fresh value served" 42 r.Baselines.Common.b_value
+  | _ -> Alcotest.fail "unexpected replies"
+
+let mvto_read_parks_on_undecided () =
+  let s, sent = mvto_rig () in
+  mvto_exec s ~src:2 ~wire:1 ~t:50 [ Types.Write (0, 42) ];
+  mvto_exec s ~src:3 ~wire:2 ~t:100 [ Types.Read 0 ];
+  Alcotest.(check int) "read parked" 1 (List.length (mvto_replies sent));
+  Mvto.server_handle s ~src:2 (Mvto.Decide { d_wire = 1; d_commit = true });
+  (match List.rev (mvto_replies sent) with
+   | (2, true, [ r ]) :: _ ->
+     Alcotest.(check int) "unparked with committed value" 42 r.Baselines.Common.b_value
+   | _ -> Alcotest.fail "read not released");
+  (* a parked read also blocks in-between writes *)
+  mvto_exec s ~src:2 ~wire:3 ~t:70 [ Types.Write (0, 7) ];
+  match List.rev (mvto_replies sent) with
+  | (3, ok, _) :: _ -> Alcotest.(check bool) "late write rejected" false ok
+  | _ -> Alcotest.fail "expected write reply"
+
+let mvto_write_rejected_under_read () =
+  let s, sent = mvto_rig () in
+  mvto_exec s ~src:3 ~wire:1 ~t:100 [ Types.Read 0 ];
+  mvto_exec s ~src:2 ~wire:2 ~t:50 [ Types.Write (0, 1) ];
+  match mvto_replies sent with
+  | [ (1, true, _); (2, false, _) ] -> ()
+  | _ -> Alcotest.fail "write under read must abort"
+
+(* --- Janus-CC ----------------------------------------------------------- *)
+
+module Tr = Baselines.Tr
+
+let tr_rig () =
+  let sent = ref [] in
+  let _, ctx = mk_ctx ~capture:(fun m -> sent := !sent @ [ m ]) () in
+  (Tr.make_server ctx, sent)
+
+let tr_deps sent wire =
+  List.find_map
+    (fun (_, m) ->
+      match m with
+      | Tr.Preaccept_reply { pa_wire; pa_deps } when pa_wire = wire -> Some pa_deps
+      | _ -> None)
+    !sent
+
+let tr_results sent wire =
+  List.find_map
+    (fun (_, m) ->
+      match m with
+      | Tr.Commit_reply { c_wire; c_results } when c_wire = wire -> Some c_results
+      | _ -> None)
+    !sent
+
+let janus_tracks_dependencies () =
+  let s, sent = tr_rig () in
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_ops = [ Types.Write (0, 1) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  Alcotest.(check (option (list int))) "first has no deps" (Some []) (tr_deps sent 1);
+  Alcotest.(check (option (list int))) "second depends on first" (Some [ 1 ])
+    (tr_deps sent 2);
+  (* reads do not depend on reads *)
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 3; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  Alcotest.(check (option (list int))) "read-read no dep" (Some [ 1 ]) (tr_deps sent 3)
+
+let janus_executes_in_dependency_order () =
+  let s, sent = tr_rig () in
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_ops = [ Types.Write (0, 10) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  (* commit arrives for the dependent first: it must wait *)
+  Tr.server_handle s ~src:3 (Tr.Commit { c_wire = 2; c_deps = [ 1 ] });
+  Alcotest.(check (option (list Alcotest.reject))) "dependent waits" None
+    (Option.map (fun _ -> []) (tr_results sent 2));
+  Tr.server_handle s ~src:2 (Tr.Commit { c_wire = 1; c_deps = [] });
+  (match tr_results sent 2 with
+   | Some [ r ] ->
+     Alcotest.(check int) "dependent read sees the write" 10 r.Baselines.Common.b_value
+   | _ -> Alcotest.fail "dependent did not execute");
+  Alcotest.(check bool) "dep executed too" true (tr_results sent 1 <> None)
+
+let janus_breaks_mutual_cycle_by_id () =
+  let s, sent = tr_rig () in
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 7; pa_ops = [ Types.Write (0, 70) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 9; pa_ops = [ Types.Write (0, 90) ]; pa_bytes = 0 });
+  (* mutual dependency (as if discovered on two different servers) *)
+  Tr.server_handle s ~src:3 (Tr.Commit { c_wire = 9; c_deps = [ 7 ] });
+  Alcotest.(check bool) "9 waits for 7" true (tr_results sent 9 = None);
+  Tr.server_handle s ~src:2 (Tr.Commit { c_wire = 7; c_deps = [ 9 ] });
+  Alcotest.(check bool) "both executed" true
+    (tr_results sent 7 <> None && tr_results sent 9 <> None);
+  (* smaller id executed first: the final committed value is 9's *)
+  Alcotest.(check int) "id order applied" 90
+    (Mvstore.Store.most_recent_committed s.Tr.store 0).Mvstore.Store.value
+
+let suite =
+  [
+    Alcotest.test_case "dOCC validation detects stale read" `Quick
+      docc_validation_detects_stale_read;
+    Alcotest.test_case "dOCC contention window (Fig 2a)" `Quick
+      docc_contention_window_aborts_reader;
+    Alcotest.test_case "d2PL no-wait aborts on conflict" `Quick no_wait_aborts_on_conflict;
+    Alcotest.test_case "d2PL wound-wait wounds younger" `Quick
+      wound_wait_wounds_younger_holder;
+    Alcotest.test_case "d2PL wound-wait younger waits" `Quick wound_wait_younger_waits;
+    Alcotest.test_case "TAPIR rejects write under read" `Quick tapir_rejects_write_under_read;
+    Alcotest.test_case "TAPIR read aborts on pending" `Quick tapir_read_aborts_on_pending;
+    Alcotest.test_case "MVTO reads stale versions" `Quick mvto_reads_stale_versions;
+    Alcotest.test_case "MVTO read parks on undecided" `Quick mvto_read_parks_on_undecided;
+    Alcotest.test_case "MVTO write rejected under read" `Quick mvto_write_rejected_under_read;
+    Alcotest.test_case "Janus tracks dependencies" `Quick janus_tracks_dependencies;
+    Alcotest.test_case "Janus dependency-ordered execution" `Quick
+      janus_executes_in_dependency_order;
+    Alcotest.test_case "Janus breaks mutual cycles by id" `Quick
+      janus_breaks_mutual_cycle_by_id;
+  ]

@@ -1,0 +1,124 @@
+(* The Real-time Serialization Graph checker itself, on hand-built
+   histories: it must accept legal ones and reject each violation
+   class (execution cycle, real-time inversion, dirty read). *)
+
+module Rsg = Checker.Rsg
+
+let check t ~strict =
+  match Rsg.check t ~strict with Rsg.Ok -> "ok" | Rsg.Violation _ -> "violation"
+
+(* tx1 writes v1 on key 1; tx2 reads it. Legal. *)
+let accepts_simple_wr () =
+  let t = Rsg.create () in
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[] ~writes:[ (1, 101) ];
+  Rsg.record_commit t ~txn:2 ~start:2.0 ~finish:3.0 ~reads:[ (1, 101) ] ~writes:[];
+  Rsg.record_version_order t 1 [ 100; 101 ];
+  Alcotest.(check string) "strict ok" "ok" (check t ~strict:true)
+
+(* Mutual wr: tx1 reads tx2's write and vice versa — the classic
+   execution cycle. *)
+let rejects_mutual_wr () =
+  let t = Rsg.create () in
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[ (2, 202) ]
+    ~writes:[ (1, 101) ];
+  Rsg.record_commit t ~txn:2 ~start:0.0 ~finish:1.0 ~reads:[ (1, 101) ]
+    ~writes:[ (2, 202) ];
+  Rsg.record_version_order t 1 [ 100; 101 ];
+  Rsg.record_version_order t 2 [ 200; 202 ];
+  Alcotest.(check string) "cycle found" "violation" (check t ~strict:false)
+
+(* rw vs ww cycle across two keys. *)
+let rejects_rw_cycle () =
+  let t = Rsg.create () in
+  (* tx1 reads key1@initial then tx2 overwrites key1; tx2 reads
+     key2@initial then tx1 overwrites key2 => rw cycle *)
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[ (1, 100) ]
+    ~writes:[ (2, 251) ];
+  Rsg.record_commit t ~txn:2 ~start:0.0 ~finish:1.0 ~reads:[ (2, 200) ]
+    ~writes:[ (1, 151) ];
+  Rsg.record_version_order t 1 [ 100; 151 ];
+  Rsg.record_version_order t 2 [ 200; 251 ];
+  Alcotest.(check string) "rw cycle" "violation" (check t ~strict:false)
+
+(* Real-time inversion: tx1 finishes before tx2 starts, but tx2's write
+   is ordered before tx1's on the same key. Serializable (no execution
+   cycle) yet not strictly serializable. *)
+let rejects_rto_inversion () =
+  let t = Rsg.create () in
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[] ~writes:[ (1, 102) ];
+  Rsg.record_commit t ~txn:2 ~start:5.0 ~finish:6.0 ~reads:[] ~writes:[ (1, 101) ];
+  Rsg.record_version_order t 1 [ 100; 101; 102 ];
+  Alcotest.(check string) "serializable alone" "ok" (check t ~strict:false);
+  Alcotest.(check string) "strict rejects" "violation" (check t ~strict:true)
+
+(* The paper's §2.2 anecdote: remove_Alice -> (external) -> new_photo.
+   A reader that sees the photo but not the removal inverts real time
+   transitively. *)
+let rejects_transitive_rto () =
+  let t = Rsg.create () in
+  (* tx1 = remove_Alice (writes acl=101); tx2 = new_photo (writes
+     photo=201) starts after tx1 finished; tx3 reads the new photo but
+     the OLD acl 100 *)
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[] ~writes:[ (1, 101) ];
+  Rsg.record_commit t ~txn:2 ~start:2.0 ~finish:3.0 ~reads:[] ~writes:[ (2, 201) ];
+  Rsg.record_commit t ~txn:3 ~start:4.0 ~finish:5.0 ~reads:[ (2, 201); (1, 100) ]
+    ~writes:[];
+  Rsg.record_version_order t 1 [ 100; 101 ];
+  Rsg.record_version_order t 2 [ 200; 201 ];
+  (* tx3 reads acl@100 => rw edge tx3 -> tx1; rto edges tx1 -> tx2 ->
+     tx3 close the cycle *)
+  Alcotest.(check string) "strict rejects" "violation" (check t ~strict:true);
+  Alcotest.(check string) "plain serializability accepts" "ok" (check t ~strict:false)
+
+let rejects_dirty_read () =
+  let t = Rsg.create () in
+  Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[ (1, 999) ] ~writes:[];
+  Rsg.record_version_order t 1 [ 100 ];
+  match Rsg.check t ~strict:false with
+  | Rsg.Violation msg ->
+    Alcotest.(check bool) "mentions dirty read" true
+      (String.length msg >= 10 && String.sub msg 0 10 = "dirty read")
+  | Rsg.Ok -> Alcotest.fail "dirty read must be flagged"
+
+let accepts_long_serial_history () =
+  let t = Rsg.create () in
+  (* a strictly serial chain of 100 read-modify-write transactions *)
+  for i = 1 to 100 do
+    Rsg.record_commit t ~txn:i
+      ~start:(float_of_int (2 * i))
+      ~finish:(float_of_int ((2 * i) + 1))
+      ~reads:[ (1, 100 + i - 1) ]
+      ~writes:[ (1, 100 + i) ]
+  done;
+  Rsg.record_version_order t 1 (List.init 101 (fun i -> 100 + i));
+  Alcotest.(check string) "ok" "ok" (check t ~strict:true);
+  Alcotest.(check int) "count" 100 (Rsg.n_committed t)
+
+(* Permuting commit order of non-conflicting transactions stays legal
+   as long as real time is respected. *)
+let disjoint_keys_any_order =
+  QCheck.Test.make ~name:"disjoint txns always strictly serializable" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (0 -- 9) (0 -- 9)))
+    (fun spans ->
+      let t = Rsg.create () in
+      List.iteri
+        (fun i (s, d) ->
+          let key = 1000 + i (* all keys distinct: no conflicts *) in
+          let start = float_of_int s and dur = float_of_int (d + 1) in
+          Rsg.record_commit t ~txn:(i + 1) ~start ~finish:(start +. dur) ~reads:[]
+            ~writes:[ (key, (10 * key) + 1) ];
+          Rsg.record_version_order t key [ 10 * key; (10 * key) + 1 ])
+        spans;
+      Rsg.check t ~strict:true = Rsg.Ok)
+
+let suite =
+  [
+    Alcotest.test_case "accepts simple wr" `Quick accepts_simple_wr;
+    Alcotest.test_case "rejects mutual wr" `Quick rejects_mutual_wr;
+    Alcotest.test_case "rejects rw cycle" `Quick rejects_rw_cycle;
+    Alcotest.test_case "rejects real-time inversion" `Quick rejects_rto_inversion;
+    Alcotest.test_case "rejects transitive rto (photo album)" `Quick rejects_transitive_rto;
+    Alcotest.test_case "rejects dirty read" `Quick rejects_dirty_read;
+    Alcotest.test_case "accepts long serial history" `Quick accepts_long_serial_history;
+  ]
+  @ [ QCheck_alcotest.to_alcotest disjoint_keys_any_order ]

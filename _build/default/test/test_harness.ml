@@ -1,0 +1,155 @@
+(* Harness-level behaviour: runner accounting, the cost model, the
+   Testbed embedding API, and an NCC server liveness property (every
+   execution eventually gets exactly one reply once everything is
+   decided). *)
+
+open Kernel
+
+let cost_monotonic =
+  QCheck.Test.make ~name:"cost grows with ops and bytes" ~count:200
+    QCheck.(pair (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun ((ops1, b1), (dops, db)) ->
+      let c = Harness.Cost.default in
+      Harness.Cost.server c ~ops:(ops1 + dops) ~bytes:(b1 + db) ()
+      >= Harness.Cost.server c ~ops:ops1 ~bytes:b1 ())
+
+let runner_accounting () =
+  let w = Workload.Google_f1.make ~n_keys:1000 () in
+  let cfg =
+    {
+      Harness.Runner.default with
+      Harness.Runner.n_servers = 2;
+      n_clients = 4;
+      offered_load = 500.0;
+      duration = 1.0;
+      warmup = 0.2;
+      drain = 0.5;
+    }
+  in
+  let r = Harness.Runner.run Ncc.protocol w cfg in
+  Alcotest.(check bool) "some commits" true (r.Harness.Runner.committed > 100);
+  Alcotest.(check bool) "committed <= attempts" true
+    (r.Harness.Runner.committed <= r.Harness.Runner.attempts);
+  Alcotest.(check (float 1e-6)) "throughput = committed/duration"
+    (float_of_int r.Harness.Runner.committed /. cfg.Harness.Runner.duration)
+    r.Harness.Runner.throughput;
+  Alcotest.(check bool) "messages counted" true
+    (r.Harness.Runner.messages > r.Harness.Runner.committed);
+  Alcotest.(check bool) "utilization sane" true
+    (r.Harness.Runner.max_utilization >= 0.0 && r.Harness.Runner.max_utilization <= 1.0)
+
+let testbed_basics () =
+  let outcomes = ref 0 in
+  let bed =
+    Harness.Testbed.make ~n_servers:2 ~n_clients:2 Ncc.protocol
+      ~on_outcome:(fun ~client:_ _ -> incr outcomes)
+  in
+  (match bed.Harness.Testbed.clients with
+   | c :: _ ->
+     bed.Harness.Testbed.submit ~client:c
+       (Txn.make ~client:c [ [ Types.Write (1, 7) ] ]);
+     bed.Harness.Testbed.run_until_quiet ();
+     Alcotest.(check int) "one outcome" 1 !outcomes;
+     let orders = bed.Harness.Testbed.version_orders () in
+     Alcotest.(check bool) "version recorded" true
+       (List.exists (fun (k, vids) -> k = 1 && List.length vids = 2) orders)
+   | [] -> Alcotest.fail "no clients");
+  Alcotest.(check_raises) "submit from a server is rejected"
+    (Invalid_argument "Testbed.submit: not a client node") (fun () ->
+      bed.Harness.Testbed.submit ~client:0 (Txn.make ~client:0 [ [ Types.Read 1 ] ]))
+
+(* Liveness: whatever mix of executions hits an NCC server, once every
+   wire transaction is decided, every non-special execution message has
+   received exactly one reply and no pending items remain. *)
+let ncc_server_liveness =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 40)
+        (triple (1 -- 12) (* wire *) (0 -- 5) (* key *)
+           (pair bool (1 -- 1000) (* write? ts *))))
+  in
+  QCheck.Test.make ~name:"ncc server: all replies out once all decided" ~count:150
+    (QCheck.make gen)
+    (fun script ->
+      let engine = Sim.Engine.create () in
+      let replies = Hashtbl.create 64 in
+      let server_ref = ref None in
+      let ctx =
+        {
+          Cluster.Net.self = 0;
+          engine;
+          rng = Sim.Rng.create 1;
+          topo = Cluster.Topology.make ~n_servers:1 ~n_clients:1 ();
+          clock = Sim.Clock.perfect;
+          send =
+            (fun ~dst msg ->
+              if dst = 0 then
+                Sim.Engine.schedule engine ~delay:1e-5 (fun () ->
+                    Ncc.Server.handle (Option.get !server_ref) ~src:0 msg)
+              else
+                match msg with
+                | Ncc.Msg.Exec_reply r ->
+                  Hashtbl.replace replies r.Ncc.Msg.e_wire
+                    (1
+                    + Option.value ~default:0 (Hashtbl.find_opt replies r.Ncc.Msg.e_wire))
+                | _ -> ());
+          timer = (fun ~delay f -> Sim.Engine.schedule engine ~delay f);
+        }
+      in
+      let server = Ncc.Server.create Ncc.Msg.default_config ctx in
+      server_ref := Some server;
+      let wires = Hashtbl.create 16 in
+      List.iter
+        (fun (wire, key, (is_write, t)) ->
+          Hashtbl.replace wires wire ();
+          let op = if is_write then Types.Write (key, t) else Types.Read key in
+          Ncc.Server.handle server ~src:1
+            (Ncc.Msg.Exec
+               {
+                 x_wire = wire;
+                 x_ops = [ op ];
+                 x_ts = Ts.make ~time:t ~cid:wire;
+                 x_ro = false;
+                 x_tro = Ts.zero;
+                 x_client_ns = 0;
+                 x_backup = 0;
+                 x_cohorts = [ 0 ];
+                 x_expected_ops = 1;
+                 x_is_last = true;
+                 x_bytes = 0;
+               }))
+        script;
+      (* decide every wire (commit evens, abort odds) *)
+      Hashtbl.iter
+        (fun wire () ->
+          Ncc.Server.handle server ~src:1
+            (Ncc.Msg.Decide { d_wire = wire; d_commit = wire mod 2 = 0 }))
+        wires;
+      Sim.Engine.run engine;
+      (* every message answered at least once (early aborts can add an
+         extra special reply for a wire), nothing pending *)
+      let messages_per_wire = Hashtbl.create 16 in
+      List.iter
+        (fun (wire, _, _) ->
+          Hashtbl.replace messages_per_wire wire
+            (1 + Option.value ~default:0 (Hashtbl.find_opt messages_per_wire wire)))
+        script;
+      let all_answered =
+        Hashtbl.fold
+          (fun wire n acc ->
+            acc && Option.value ~default:0 (Hashtbl.find_opt replies wire) >= n)
+          messages_per_wire true
+      in
+      let no_pending =
+        Hashtbl.fold
+          (fun _ ks acc -> acc && ks.Ncc.Server.ks_pending = [])
+          server.Ncc.Server.keys true
+      in
+      all_answered && no_pending && Hashtbl.length server.Ncc.Server.txns = 0)
+
+let suite =
+  [
+    Alcotest.test_case "runner accounting" `Slow runner_accounting;
+    Alcotest.test_case "testbed basics" `Quick testbed_basics;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ cost_monotonic; ncc_server_liveness ]

@@ -1,0 +1,62 @@
+(* Kernel types: transactions, outcomes, wire-id scheme. *)
+
+open Kernel
+
+let txn_read_only_derivation () =
+  Txn.reset_ids ();
+  let ro = Txn.make ~client:9 [ [ Types.Read 1; Types.Read 2 ]; [ Types.Read 3 ] ] in
+  let rw = Txn.make ~client:9 [ [ Types.Read 1 ]; [ Types.Write (2, 5) ] ] in
+  Alcotest.(check bool) "reads only" true ro.Txn.read_only;
+  Alcotest.(check bool) "write detected" false rw.Txn.read_only;
+  Alcotest.(check int) "fresh ids" 1 ro.Txn.id;
+  Alcotest.(check int) "sequential ids" 2 rw.Txn.id
+
+let txn_projections () =
+  let t =
+    Txn.make ~client:9 [ [ Types.Read 1; Types.Write (2, 5) ]; [ Types.Read 3 ] ]
+  in
+  Alcotest.(check (list int)) "keys" [ 1; 2; 3 ] (Txn.keys t);
+  Alcotest.(check (list int)) "read keys" [ 1; 3 ] (Txn.read_keys t);
+  Alcotest.(check (list int)) "write keys" [ 2 ] (Txn.write_keys t);
+  Alcotest.(check int) "shots" 2 (Txn.n_shots t);
+  Alcotest.(check int) "ops" 3 (List.length (Txn.ops t))
+
+let wire_ids_unique =
+  QCheck.Test.make ~name:"wire ids unique per (txn, attempt)" ~count:300
+    QCheck.(pair (pair (1 -- 10_000) (1 -- 50)) (pair (1 -- 10_000) (1 -- 50)))
+    (fun ((t1, a1), (t2, a2)) ->
+      let w1 = Ncc.Msg.wire_id ~txn_id:t1 ~attempt:a1 in
+      let w2 = Ncc.Msg.wire_id ~txn_id:t2 ~attempt:a2 in
+      (t1 = t2 && a1 = a2) = (w1 = w2))
+
+let outcome_helpers () =
+  let t = Txn.make ~client:3 [ [ Types.Read 1 ] ] in
+  let ab = Outcome.aborted ~reason:Outcome.Early_abort t in
+  Alcotest.(check bool) "aborted" false (Outcome.committed ab);
+  Alcotest.(check string) "reason string" "early-abort"
+    (Outcome.reason_to_string Outcome.Early_abort);
+  let ok =
+    {
+      Outcome.txn = t;
+      status = Outcome.Committed;
+      reads = [ (1, 5, 42) ];
+      writes = [];
+      commit_ts = Some (Ts.make ~time:7 ~cid:3);
+    }
+  in
+  Alcotest.(check bool) "committed" true (Outcome.committed ok)
+
+let op_helpers () =
+  Alcotest.(check int) "read key" 4 (Types.op_key (Types.Read 4));
+  Alcotest.(check int) "write key" 9 (Types.op_key (Types.Write (9, 1)));
+  Alcotest.(check bool) "write is write" true (Types.is_write (Types.Write (1, 1)));
+  Alcotest.(check bool) "read is not" false (Types.is_write (Types.Read 1))
+
+let suite =
+  [
+    Alcotest.test_case "txn read-only derivation" `Quick txn_read_only_derivation;
+    Alcotest.test_case "txn projections" `Quick txn_projections;
+    Alcotest.test_case "outcome helpers" `Quick outcome_helpers;
+    Alcotest.test_case "op helpers" `Quick op_helpers;
+  ]
+  @ [ QCheck_alcotest.to_alcotest wire_ids_unique ]

@@ -1,0 +1,127 @@
+(* Lock table: compatibility, re-entrancy, upgrade, FIFO waiters. *)
+
+open Kernel
+module Locks = Mvstore.Locks
+
+let owner ?(t = 1) txn = { Locks.txn; ts = Ts.make ~time:t ~cid:txn }
+
+let shared_compatible () =
+  let l = Locks.create () in
+  Alcotest.(check bool) "s1" true
+    (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Shared = `Granted);
+  Alcotest.(check bool) "s2" true
+    (Locks.try_acquire l 1 ~owner:(owner 2) ~mode:Locks.Shared = `Granted);
+  Alcotest.(check int) "two holders" 2 (List.length (Locks.holders l 1))
+
+let exclusive_conflicts () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive);
+  (match Locks.try_acquire l 1 ~owner:(owner 2) ~mode:Locks.Shared with
+   | `Conflict [ o ] -> Alcotest.(check int) "conflicting owner" 1 o.Locks.txn
+   | `Conflict _ | `Granted -> Alcotest.fail "expected single conflict");
+  (match Locks.try_acquire l 1 ~owner:(owner 2) ~mode:Locks.Exclusive with
+   | `Conflict _ -> ()
+   | `Granted -> Alcotest.fail "x-x must conflict")
+
+let reentrant_and_upgrade () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Shared);
+  Alcotest.(check bool) "reentrant shared" true
+    (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Shared = `Granted);
+  Alcotest.(check bool) "sole-holder upgrade" true
+    (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive = `Granted);
+  (* once exclusive, re-acquiring shared must not downgrade *)
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Shared);
+  (match Locks.try_acquire l 1 ~owner:(owner 2) ~mode:Locks.Shared with
+   | `Conflict _ -> ()
+   | `Granted -> Alcotest.fail "exclusive must persist across re-acquire")
+
+let upgrade_blocked_by_other_sharer () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Shared);
+  ignore (Locks.try_acquire l 1 ~owner:(owner 2) ~mode:Locks.Shared);
+  match Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive with
+  | `Conflict _ -> ()
+  | `Granted -> Alcotest.fail "upgrade with co-sharer must conflict"
+
+let waiters_fifo () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive);
+  let granted = ref [] in
+  let wait txn =
+    match
+      Locks.acquire_or_wait l 1 ~owner:(owner txn) ~mode:Locks.Exclusive
+        ~notify:(fun () -> granted := txn :: !granted)
+    with
+    | `Waiting _ -> ()
+    | `Granted -> Alcotest.fail "should wait"
+  in
+  wait 2;
+  wait 3;
+  Locks.release l 1 ~txn:1;
+  Alcotest.(check (list int)) "first waiter granted" [ 2 ] !granted;
+  Locks.release l 1 ~txn:2;
+  Alcotest.(check (list int)) "second waiter granted" [ 3; 2 ] !granted
+
+let shared_run_granted_together () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive);
+  let granted = ref 0 in
+  let wait txn mode =
+    ignore
+      (Locks.acquire_or_wait l 1 ~owner:(owner txn) ~mode ~notify:(fun () -> incr granted))
+  in
+  wait 2 Locks.Shared;
+  wait 3 Locks.Shared;
+  wait 4 Locks.Exclusive;
+  Locks.release l 1 ~txn:1;
+  Alcotest.(check int) "both shared granted" 2 !granted;
+  Alcotest.(check int) "exclusive still waits" 2 (List.length (Locks.holders l 1))
+
+let release_removes_waiters () =
+  let l = Locks.create () in
+  ignore (Locks.try_acquire l 1 ~owner:(owner 1) ~mode:Locks.Exclusive);
+  let fired = ref false in
+  ignore
+    (Locks.acquire_or_wait l 1 ~owner:(owner 2) ~mode:Locks.Exclusive
+       ~notify:(fun () -> fired := true));
+  (* cancelling the waiter (e.g. its transaction aborted) must prevent
+     the callback from ever firing *)
+  Locks.release l 1 ~txn:2;
+  Locks.release l 1 ~txn:1;
+  Alcotest.(check bool) "cancelled waiter never notified" false !fired;
+  Alcotest.(check bool) "lock free" true (Locks.holders l 1 = [])
+
+(* Random scripts never leave a key both held exclusively and shared by
+   different transactions. *)
+let no_incompatible_holders =
+  QCheck.Test.make ~name:"holders always compatible" ~count:300
+    QCheck.(list (pair (1 -- 5) (pair bool bool)))
+    (fun script ->
+      let l = Locks.create () in
+      List.iter
+        (fun (txn, (excl, rel)) ->
+          if rel then Locks.release l 1 ~txn
+          else
+            ignore
+              (Locks.try_acquire l 1 ~owner:(owner txn)
+                 ~mode:(if excl then Locks.Exclusive else Locks.Shared)))
+        script;
+      let hs = Locks.holders l 1 in
+      let exclusives = List.filter (fun (_, m) -> m = Locks.Exclusive) hs in
+      match exclusives with
+      | [] -> true
+      | [ (o, _) ] -> List.for_all (fun (o', _) -> o'.Locks.txn = o.Locks.txn) hs
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "shared compatible" `Quick shared_compatible;
+    Alcotest.test_case "exclusive conflicts" `Quick exclusive_conflicts;
+    Alcotest.test_case "reentrant + upgrade" `Quick reentrant_and_upgrade;
+    Alcotest.test_case "upgrade blocked by co-sharer" `Quick upgrade_blocked_by_other_sharer;
+    Alcotest.test_case "waiters fifo" `Quick waiters_fifo;
+    Alcotest.test_case "shared run granted together" `Quick shared_run_granted_together;
+    Alcotest.test_case "release removes waiters" `Quick release_removes_waiters;
+  ]
+  @ [ QCheck_alcotest.to_alcotest no_incompatible_holders ]

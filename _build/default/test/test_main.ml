@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "ncc-repro"
+    [
+      ("ts", Test_ts.suite);
+      ("kernel", Test_kernel.suite);
+      ("sim", Test_sim.suite);
+      ("cluster", Test_cluster.suite);
+      ("store", Test_store.suite);
+      ("store-model", Test_store_model.suite);
+      ("locks", Test_locks.suite);
+      ("checker", Test_checker.suite);
+      ("stats", Test_stats.suite);
+      ("ncc-server", Test_ncc_server.suite);
+      ("ncc-client", Test_ncc_client.suite);
+      ("workloads", Test_workloads.suite);
+      ("baselines", Test_baselines.suite);
+      ("harness", Test_harness.suite);
+      ("rsm", Test_rsm.suite);
+      ("paper-figures", Test_paper_figures.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("interactive", Test_interactive.suite);
+      ("e2e", Test_e2e.suite);
+    ]

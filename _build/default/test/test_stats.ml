@@ -1,0 +1,69 @@
+(* Histogram and time-series statistics. *)
+
+let percentile_close_to_exact =
+  QCheck.Test.make ~name:"histogram percentiles within bucket error" ~count:50
+    QCheck.(list_of_size Gen.(50 -- 500) (float_range 1e-5 10.0))
+    (fun samples ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let exact q = List.nth sorted (min (n - 1) (int_of_float (q *. float_of_int n))) in
+      List.for_all
+        (fun q ->
+          let e = exact q and got = Stats.Hist.percentile h q in
+          got >= e /. 1.15 && got <= e *. 1.15)
+        [ 0.5; 0.9; 0.99 ])
+
+let hist_basic () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Hist.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Hist.max_value h);
+  Alcotest.(check bool) "p100 = max" true (Stats.Hist.percentile h 1.0 <= 4.0)
+
+let hist_empty () =
+  let h = Stats.Hist.create () in
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Stats.Hist.mean h);
+  Alcotest.(check (float 1e-9)) "p99 0" 0.0 (Stats.Hist.percentile h 0.99)
+
+let hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  Stats.Hist.add a 1.0;
+  Stats.Hist.add b 100.0;
+  Stats.Hist.merge ~into:a b;
+  Alcotest.(check int) "count" 2 (Stats.Hist.count a);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Stats.Hist.max_value a)
+
+let series_rates () =
+  let s = Stats.Series.create ~width:1.0 () in
+  List.iter (Stats.Series.add s) [ 0.1; 0.2; 1.5; 3.9 ];
+  let rates = Stats.Series.rates s in
+  Alcotest.(check int) "four buckets" 4 (List.length rates);
+  (match rates with
+   | (t0, r0) :: (_, r1) :: (_, r2) :: (_, r3) :: _ ->
+     Alcotest.(check (float 1e-9)) "bucket0 start" 0.0 t0;
+     Alcotest.(check (float 1e-9)) "bucket0 rate" 2.0 r0;
+     Alcotest.(check (float 1e-9)) "bucket1 rate" 1.0 r1;
+     Alcotest.(check (float 1e-9)) "bucket2 empty" 0.0 r2;
+     Alcotest.(check (float 1e-9)) "bucket3 rate" 1.0 r3
+   | _ -> Alcotest.fail "shape")
+
+let series_growth =
+  QCheck.Test.make ~name:"series grows to any time" ~count:100
+    QCheck.(float_range 0.0 1e4)
+    (fun t ->
+      let s = Stats.Series.create ~width:0.5 () in
+      Stats.Series.add s t;
+      List.exists (fun (_, r) -> r > 0.0) (Stats.Series.rates s))
+
+let suite =
+  [
+    Alcotest.test_case "hist basics" `Quick hist_basic;
+    Alcotest.test_case "hist empty" `Quick hist_empty;
+    Alcotest.test_case "hist merge" `Quick hist_merge;
+    Alcotest.test_case "series rates" `Quick series_rates;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ percentile_close_to_exact; series_growth ]

@@ -1,0 +1,167 @@
+(* Multi-versioned store: the timestamp refinement rules of Alg 4.2 and
+   the ordered-insertion entry points used by the baselines. *)
+
+open Kernel
+module Store = Mvstore.Store
+
+let ts t = Ts.make ~time:t ~cid:1
+let ts2 t = Ts.make ~time:t ~cid:2
+
+let fresh () =
+  Store.reset_vids ();
+  Store.create ()
+
+let initial_version () =
+  let s = fresh () in
+  let v = Store.most_recent s 1 in
+  Alcotest.(check bool) "initial committed" true (v.Store.status = Store.Committed);
+  Alcotest.(check int) "initial writer" 0 v.Store.writer;
+  Alcotest.(check bool) "tw zero" true (Ts.equal v.Store.tw Ts.zero)
+
+let read_refines_tr () =
+  let s = fresh () in
+  let v = Store.read s 1 ~ts:(ts 10) in
+  Alcotest.(check bool) "tr refined" true (Ts.equal v.Store.tr (ts 10));
+  let v2 = Store.read s 1 ~ts:(ts 5) in
+  Alcotest.(check bool) "tr keeps max" true (Ts.equal v2.Store.tr (ts 10));
+  let v3 = Store.read ~refine:false s 1 ~ts:(ts 99) in
+  Alcotest.(check bool) "no refinement when fused" true (Ts.equal v3.Store.tr (ts 10))
+
+(* Alg 4.2 line 10: t_w = max(t, curr.t_r + 1). *)
+let write_after_read () =
+  let s = fresh () in
+  ignore (Store.read s 1 ~ts:(ts 10));
+  let w = Store.write s 1 42 ~ts:(ts 5) ~writer:7 in
+  Alcotest.(check bool) "tw bumped past reader" true Ts.(w.Store.tw > ts 10);
+  Alcotest.(check bool) "tw = tr on creation" true (Ts.equal w.Store.tw w.Store.tr);
+  Alcotest.(check bool) "undecided" true (w.Store.status = Store.Undecided);
+  let w2 = Store.write s 1 43 ~ts:(ts 50) ~writer:8 in
+  Alcotest.(check bool) "later write takes its own ts" true (Ts.equal w2.Store.tw (ts 50))
+
+let abort_unlinks () =
+  let s = fresh () in
+  let w = Store.write s 1 42 ~ts:(ts 5) ~writer:7 in
+  Alcotest.(check int) "chain grew" 2 (Store.chain_length s 1);
+  Store.abort_version s 1 w;
+  Alcotest.(check int) "chain restored" 1 (Store.chain_length s 1);
+  let v = Store.most_recent s 1 in
+  Alcotest.(check int) "back to initial" 0 v.Store.writer
+
+let commit_and_most_recent_committed () =
+  let s = fresh () in
+  let w = Store.write s 1 42 ~ts:(ts 5) ~writer:7 in
+  Alcotest.(check int) "committed view skips undecided" 0
+    (Store.most_recent_committed s 1).Store.writer;
+  Store.commit_version w;
+  Alcotest.(check int) "committed view sees it" 7
+    (Store.most_recent_committed s 1).Store.writer
+
+let next_prev_navigation () =
+  let s = fresh () in
+  let a = Store.write s 1 1 ~ts:(ts 1) ~writer:1 in
+  let b = Store.write s 1 2 ~ts:(ts 2) ~writer:2 in
+  (match Store.next_version s 1 a with
+   | Some v -> Alcotest.(check int) "next of a is b" b.Store.vid v.Store.vid
+   | None -> Alcotest.fail "expected next");
+  (match Store.prev_version s 1 b with
+   | Some v -> Alcotest.(check int) "prev of b is a" a.Store.vid v.Store.vid
+   | None -> Alcotest.fail "expected prev");
+  Alcotest.(check bool) "no next of head" true (Store.next_version s 1 b = None);
+  (* aborting a relinks b's predecessor to the initial version *)
+  Store.abort_version s 1 a;
+  (match Store.prev_version s 1 b with
+   | Some v -> Alcotest.(check int) "prev relinked" 0 v.Store.writer
+   | None -> Alcotest.fail "expected prev after abort")
+
+let ordered_insert_and_version_at () =
+  let s = fresh () in
+  let a = Store.insert_ordered s 1 10 ~tw:(ts 10) ~writer:1 in
+  let c = Store.insert_ordered s 1 30 ~tw:(ts 30) ~writer:3 in
+  let b = Store.insert_ordered s 1 20 ~tw:(ts 20) ~writer:2 in
+  Alcotest.(check int) "head is ts30" c.Store.vid (Store.most_recent s 1).Store.vid;
+  let at t =
+    match Store.version_at s 1 ~ts:(ts t) with
+    | Some v -> v.Store.vid
+    | None -> -1
+  in
+  Alcotest.(check int) "at 15 -> a" a.Store.vid (at 15);
+  Alcotest.(check int) "at 20 -> b" b.Store.vid (at 20);
+  Alcotest.(check int) "at 99 -> c" c.Store.vid (at 99)
+
+let park_callbacks () =
+  let s = fresh () in
+  let w = Store.write s 1 42 ~ts:(ts 5) ~writer:7 in
+  let fired = ref [] in
+  Store.park w (fun v -> fired := v.Store.status :: !fired);
+  Store.park w (fun v -> fired := v.Store.status :: !fired);
+  Store.commit_version w;
+  Alcotest.(check int) "both callbacks ran" 2 (List.length !fired);
+  Alcotest.(check bool) "saw committed" true
+    (List.for_all (fun st -> st = Store.Committed) !fired)
+
+let committed_order_oldest_first () =
+  let s = fresh () in
+  let a = Store.write s 1 1 ~ts:(ts 1) ~writer:1 in
+  let b = Store.write s 1 2 ~ts:(ts 2) ~writer:2 in
+  Store.commit_version a;
+  Store.commit_version b;
+  let order = Store.committed_order s 1 in
+  Alcotest.(check int) "three committed (initial + 2)" 3 (List.length order);
+  Alcotest.(check bool) "oldest first" true
+    (List.nth order 1 = a.Store.vid && List.nth order 2 = b.Store.vid)
+
+let gc_keeps_undecided_and_terminator () =
+  let s = fresh () in
+  let undecided = ref None in
+  for i = 1 to 20 do
+    let w = Store.write s 1 i ~ts:(ts i) ~writer:i in
+    if i = 3 then undecided := Some w else Store.commit_version w
+  done;
+  Store.gc ~keep:4 s;
+  Alcotest.(check bool) "chain trimmed" true (Store.chain_length s 1 <= 7);
+  (* the undecided version and a committed terminator must survive *)
+  let survives v = Store.next_version s 1 v <> None || (Store.most_recent s 1).Store.vid = v.Store.vid in
+  (match !undecided with
+   | Some w -> Alcotest.(check bool) "undecided survives" true (survives w || w.Store.status = Store.Undecided)
+   | None -> Alcotest.fail "setup");
+  Alcotest.(check bool) "a committed version remains" true
+    ((Store.most_recent_committed s 1).Store.status = Store.Committed)
+
+(* Invariant: version chains are strictly ordered by t_w, and t_r >= t_w
+   on every version, under random interleavings of reads and writes. *)
+let chain_invariant =
+  QCheck.Test.make ~name:"chains strictly tw-ordered, tr >= tw" ~count:200
+    QCheck.(list (pair (0 -- 3) (pair bool (1 -- 1000))))
+    (fun script ->
+      let s = fresh () in
+      List.iter
+        (fun (key, (is_write, t)) ->
+          if is_write then ignore (Store.write s key t ~ts:(ts2 t) ~writer:t)
+          else ignore (Store.read s key ~ts:(ts2 t)))
+        script;
+      List.for_all
+        (fun key ->
+          let rec walk v =
+            Ts.(v.Store.tr >= v.Store.tw)
+            &&
+            match Store.prev_version s key v with
+            | None -> true
+            | Some p -> Ts.(p.Store.tw < v.Store.tw) && walk p
+          in
+          walk (Store.most_recent s key))
+        [ 0; 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "initial version" `Quick initial_version;
+    Alcotest.test_case "read refines tr" `Quick read_refines_tr;
+    Alcotest.test_case "write after read (Alg 4.2)" `Quick write_after_read;
+    Alcotest.test_case "abort unlinks" `Quick abort_unlinks;
+    Alcotest.test_case "commit visibility" `Quick commit_and_most_recent_committed;
+    Alcotest.test_case "next/prev navigation" `Quick next_prev_navigation;
+    Alcotest.test_case "ordered insert + version_at" `Quick ordered_insert_and_version_at;
+    Alcotest.test_case "park callbacks" `Quick park_callbacks;
+    Alcotest.test_case "committed order" `Quick committed_order_oldest_first;
+    Alcotest.test_case "gc" `Quick gc_keeps_undecided_and_terminator;
+  ]
+  @ [ QCheck_alcotest.to_alcotest chain_invariant ]

@@ -1,0 +1,134 @@
+(* Model-based testing of the multi-versioned store: a pure reference
+   model (association lists of versions with explicit timestamp-
+   refinement rules transcribed from Alg 4.2) runs the same random
+   scripts as the real store; observable state must match after every
+   step. *)
+
+open Kernel
+module Store = Mvstore.Store
+
+(* --- the reference model ------------------------------------------- *)
+
+module Model = struct
+  type version = { value : int; tw : Ts.t; tr : Ts.t; committed : bool; id : int }
+
+  type t = { mutable chains : (int * version list) list }
+  (* newest-first chains; terminator = initial version *)
+
+  let fresh_id = ref 0
+
+  let create () =
+    fresh_id := 0;
+    { chains = [] }
+
+  let chain m key =
+    match List.assoc_opt key m.chains with
+    | Some c -> c
+    | None ->
+      incr fresh_id;
+      let c =
+        [ { value = 0; tw = Ts.zero; tr = Ts.zero; committed = true; id = - !fresh_id } ]
+      in
+      m.chains <- (key, c) :: m.chains;
+      c
+
+  let set m key c = m.chains <- (key, c) :: List.remove_assoc key m.chains
+
+  let read m key ~ts =
+    match chain m key with
+    | head :: rest ->
+      set m key ({ head with tr = Ts.max head.tr ts } :: rest);
+      head.value
+    | [] -> assert false
+
+  let write m key value ~ts =
+    let c = chain m key in
+    let head = List.hd c in
+    let tw = Ts.max ts (Ts.succ head.tr) in
+    incr fresh_id;
+    set m key ({ value; tw; tr = tw; committed = false; id = !fresh_id } :: c);
+    !fresh_id
+
+  let commit m key id =
+    set m key
+      (List.map
+         (fun v -> if v.id = id then { v with committed = true } else v)
+         (chain m key))
+
+  let abort m key id = set m key (List.filter (fun v -> v.id <> id) (chain m key))
+
+  let head m key = List.hd (chain m key)
+
+  let head_committed m key =
+    List.find (fun v -> v.committed) (chain m key)
+end
+
+(* --- the script interpreter ----------------------------------------- *)
+
+type op =
+  | Read of int * int          (* key, ts *)
+  | Write of int * int * int   (* key, value, ts *)
+  | Decide of int * bool       (* index into installed writes, commit? *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k t -> Read (k mod 4, t)) small_nat (1 -- 10_000));
+        (4, map3 (fun k v t -> Write (k mod 4, v, t)) small_nat (1 -- 1000) (1 -- 10_000));
+        (3, map2 (fun i c -> Decide (i, c)) small_nat bool);
+      ])
+
+let print_op = function
+  | Read (k, t) -> Printf.sprintf "R(%d)@%d" k t
+  | Write (k, v, t) -> Printf.sprintf "W(%d=%d)@%d" k v t
+  | Decide (i, c) -> Printf.sprintf "%s#%d" (if c then "commit" else "abort") i
+
+let agree (s : Store.t) (m : Model.t) key =
+  let sv = Store.most_recent s key and mv = Model.head m key in
+  let svc = Store.most_recent_committed s key and mvc = Model.head_committed m key in
+  sv.Store.value = mv.Model.value
+  && Ts.equal sv.Store.tw mv.Model.tw
+  && Ts.equal sv.Store.tr mv.Model.tr
+  && (sv.Store.status = Store.Committed) = mv.Model.committed
+  && svc.Store.value = mvc.Model.value
+  && Ts.equal svc.Store.tw mvc.Model.tw
+
+let store_matches_model =
+  QCheck.Test.make ~name:"store matches reference model" ~count:300
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map print_op l))
+       QCheck.Gen.(list_size (1 -- 40) op_gen))
+    (fun script ->
+      let s = Store.create () and m = Model.create () in
+      (* parallel lists of undecided writes: (key, store version, model id) *)
+      let pending = ref [] in
+      List.for_all
+        (fun op ->
+          (match op with
+           | Read (k, t) ->
+             let ts = Ts.make ~time:t ~cid:1 in
+             let sv = Store.read s k ~ts in
+             let mv = Model.read m k ~ts in
+             if sv.Store.value <> mv then failwith "read divergence"
+           | Write (k, v, t) ->
+             let ts = Ts.make ~time:t ~cid:1 in
+             let sv = Store.write s k v ~ts ~writer:1 in
+             let mid = Model.write m k v ~ts in
+             pending := (k, sv, mid) :: !pending
+           | Decide (i, commit) ->
+             (match List.nth_opt !pending (i mod max 1 (List.length !pending)) with
+              | Some (k, sv, mid) when !pending <> [] ->
+                pending := List.filter (fun (_, _, m') -> m' <> mid) !pending;
+                if commit then begin
+                  Store.commit_version sv;
+                  Model.commit m k mid
+                end
+                else begin
+                  Store.abort_version s k sv;
+                  Model.abort m k mid
+                end
+              | _ -> ()));
+          List.for_all (fun k -> agree s m k) [ 0; 1; 2; 3 ])
+        script)
+
+let suite = [ QCheck_alcotest.to_alcotest store_matches_model ]

@@ -1,0 +1,51 @@
+(* Timestamp ordering properties (Kernel.Ts). *)
+
+open Kernel
+
+let ts_gen =
+  QCheck.Gen.(
+    map2 (fun time cid -> Ts.make ~time ~cid) (int_bound 1_000_000) (int_bound 64))
+
+let arb_ts = QCheck.make ~print:Ts.to_string ts_gen
+
+let test_total_order =
+  QCheck.Test.make ~name:"compare is a total order" ~count:500
+    (QCheck.triple arb_ts arb_ts arb_ts) (fun (a, b, c) ->
+      let open Ts in
+      (* antisymmetry and transitivity on this sample *)
+      (not (a < b && b < a))
+      && (not (a < b && b < c) || a < c)
+      && (compare a b = 0) = (equal a b))
+
+let test_tie_break =
+  QCheck.Test.make ~name:"ties broken by client id" ~count:200
+    (QCheck.pair QCheck.small_nat QCheck.small_nat) (fun (t, c) ->
+      let a = Ts.make ~time:t ~cid:c and b = Ts.make ~time:t ~cid:(c + 1) in
+      Ts.(a < b))
+
+let test_succ =
+  QCheck.Test.make ~name:"succ is the least larger same-cid timestamp" ~count:200 arb_ts
+    (fun a ->
+      let s = Ts.succ a in
+      Ts.(a < s) && s.Ts.time = a.Ts.time + 1 && s.Ts.cid = a.Ts.cid)
+
+let test_minmax =
+  QCheck.Test.make ~name:"max/min agree with compare" ~count:500
+    (QCheck.pair arb_ts arb_ts) (fun (a, b) ->
+      Ts.(max a b >= a) && Ts.(max a b >= b) && Ts.(min a b <= a) && Ts.(min a b <= b))
+
+let unit_tests =
+  [
+    Alcotest.test_case "zero below everything" `Quick (fun () ->
+        Alcotest.(check bool) "zero < infinity" true Ts.(zero < infinity);
+        Alcotest.(check bool)
+          "zero <= make 0 0" true
+          Ts.(zero <= make ~time:0 ~cid:0));
+    Alcotest.test_case "to_string round shape" `Quick (fun () ->
+        Alcotest.(check string) "fmt" "42.7" (Ts.to_string (Ts.make ~time:42 ~cid:7)));
+  ]
+
+let suite =
+  unit_tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [ test_total_order; test_tie_break; test_succ; test_minmax ]

@@ -1,0 +1,138 @@
+(* Workload generators: parameter conformance with the paper's Fig 4
+   and structural properties (multi-shot shapes, key placement). *)
+
+open Kernel
+
+let rng () = Sim.Rng.create 17
+
+let sample w n =
+  let r = rng () in
+  List.init n (fun _ -> w.Harness.Workload_sig.gen r ~client:100)
+
+let f1_key_counts () =
+  let w = Workload.Google_f1.make ~n_keys:10_000 () in
+  let txns = sample w 2000 in
+  List.iter
+    (fun t ->
+      let n = List.length (Txn.keys t) in
+      Alcotest.(check bool) "1-10 keys" true (n >= 1 && n <= 10);
+      Alcotest.(check int) "one-shot" 1 (Txn.n_shots t))
+    txns
+
+let f1_write_fraction () =
+  let w = Workload.Google_f1.make ~n_keys:10_000 () in
+  let txns = sample w 20_000 in
+  let writers = List.length (List.filter (fun t -> not t.Txn.read_only) txns) in
+  let frac = float_of_int writers /. 20_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "write fraction ~0.3%% (got %.4f)" frac)
+    true
+    (frac > 0.0005 && frac < 0.01)
+
+let wf_sweep_fraction () =
+  let w = Workload.Google_f1.make_wf ~write_fraction:0.3 ~n_keys:10_000 () in
+  let txns = sample w 5_000 in
+  let writers = List.length (List.filter (fun t -> not t.Txn.read_only) txns) in
+  let frac = float_of_int writers /. 5_000.0 in
+  Alcotest.(check bool) "write fraction ~30%" true (frac > 0.25 && frac < 0.35)
+
+let tao_shapes () =
+  let w = Workload.Facebook_tao.make () in
+  let txns = sample w 5_000 in
+  let ro = List.filter (fun t -> t.Txn.read_only) txns in
+  let rw = List.filter (fun t -> not t.Txn.read_only) txns in
+  Alcotest.(check bool) "read-dominated" true
+    (float_of_int (List.length rw) /. 5_000.0 < 0.01);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "writes touch one key" 1 (List.length (Txn.keys t)))
+    rw;
+  let sizes = List.map (fun t -> List.length (Txn.keys t)) ro in
+  Alcotest.(check bool) "sizes within 1..1001" true
+    (List.for_all (fun n -> n >= 1 && n <= 1001) sizes);
+  Alcotest.(check bool) "has large reads" true (List.exists (fun n -> n > 100) sizes);
+  Alcotest.(check bool) "has small reads" true (List.exists (fun n -> n <= 3) sizes)
+
+let tpcc_mix () =
+  let w = Workload.Tpcc.make ~warehouses_per_server:8 ~n_servers:8 () in
+  let txns = sample w 20_000 in
+  let count label =
+    List.length (List.filter (fun t -> t.Txn.label = label) txns)
+  in
+  let frac label = float_of_int (count label) /. 20_000.0 in
+  Alcotest.(check bool) "new_order ~44%" true (abs_float (frac "new_order" -. 0.44) < 0.02);
+  Alcotest.(check bool) "payment ~44%" true (abs_float (frac "payment" -. 0.44) < 0.02);
+  Alcotest.(check bool) "delivery ~4%" true (abs_float (frac "delivery" -. 0.04) < 0.01);
+  Alcotest.(check bool) "order_status ~4%" true
+    (abs_float (frac "order_status" -. 0.04) < 0.01);
+  Alcotest.(check bool) "stock_level ~4%" true
+    (abs_float (frac "stock_level" -. 0.04) < 0.01)
+
+let tpcc_multishot_shapes () =
+  let w = Workload.Tpcc.make ~warehouses_per_server:2 ~n_servers:4 () in
+  let txns = sample w 5_000 in
+  List.iter
+    (fun t ->
+      match t.Txn.label with
+      | "payment" ->
+        Alcotest.(check int) "payment 2 shots" 2 (Txn.n_shots t);
+        Alcotest.(check bool) "payment writes" true (not t.Txn.read_only)
+      | "order_status" ->
+        Alcotest.(check int) "order_status 2 shots" 2 (Txn.n_shots t);
+        Alcotest.(check bool) "order_status read-only" true t.Txn.read_only
+      | "stock_level" -> Alcotest.(check bool) "stock_level RO" true t.Txn.read_only
+      | "new_order" | "delivery" ->
+        Alcotest.(check int) "one-shot" 1 (Txn.n_shots t)
+      | other -> Alcotest.fail ("unexpected label " ^ other))
+    txns
+
+let tpcc_home_placement () =
+  let n_servers = 4 in
+  let t = Workload.Tpcc.create ~warehouses_per_server:2 ~n_servers () in
+  let topo = Cluster.Topology.make ~n_servers ~n_clients:1 () in
+  for wh = 0 to 7 do
+    let key = Workload.Tpcc.district_key t wh 3 in
+    Alcotest.(check int)
+      (Printf.sprintf "warehouse %d home" wh)
+      (wh mod n_servers)
+      (Cluster.Topology.server_of_key topo key)
+  done
+
+let tpcc_new_order_rmw () =
+  let w = Workload.Tpcc.make ~warehouses_per_server:2 ~n_servers:4 () in
+  let txns = sample w 200 in
+  let no = List.filter (fun t -> t.Txn.label = "new_order") txns in
+  List.iter
+    (fun t ->
+      (* every new-order both reads and writes its district row *)
+      let reads = Txn.read_keys t and writes = Txn.write_keys t in
+      Alcotest.(check bool) "district RMW present" true
+        (List.exists (fun k -> List.mem k writes) reads))
+    no
+
+let unique_write_values () =
+  let w = Workload.Google_f1.make_wf ~write_fraction:1.0 ~n_keys:100 () in
+  let txns = sample w 500 in
+  let values =
+    List.concat_map
+      (fun t ->
+        List.filter_map
+          (function Types.Write (_, v) -> Some v | Types.Read _ -> None)
+          (Txn.ops t))
+      txns
+  in
+  let uniq = List.sort_uniq compare values in
+  Alcotest.(check int) "write payloads unique" (List.length values) (List.length uniq)
+
+let suite =
+  [
+    Alcotest.test_case "f1 key counts" `Quick f1_key_counts;
+    Alcotest.test_case "f1 write fraction" `Quick f1_write_fraction;
+    Alcotest.test_case "wf sweep fraction" `Quick wf_sweep_fraction;
+    Alcotest.test_case "tao shapes" `Quick tao_shapes;
+    Alcotest.test_case "tpcc mix" `Quick tpcc_mix;
+    Alcotest.test_case "tpcc multishot shapes" `Quick tpcc_multishot_shapes;
+    Alcotest.test_case "tpcc home placement" `Quick tpcc_home_placement;
+    Alcotest.test_case "tpcc new-order RMW" `Quick tpcc_new_order_rmw;
+    Alcotest.test_case "unique write values" `Quick unique_write_values;
+  ]
