@@ -2,6 +2,9 @@
 
      ncc_sim list                              protocols and workloads
      ncc_sim run -p NCC -w google-f1 -l 20000  one simulation, full stats
+     ncc_sim run -p NCC --faults 7             ... under a seeded fault schedule
+     ncc_sim chaos -p NCC --seeds 20           seeded chaos sweep, strict checks
+     ncc_sim chaos -p NCC --replay 7           replay one chaos seed
      ncc_sim fig fig6a [--quick]               regenerate a paper figure *)
 
 open Cmdliner
@@ -12,6 +15,7 @@ let protocols =
     ("NCC-RW", Ncc.protocol_rw);
     ("NCC-noSR", Ncc.protocol_no_smart_retry);
     ("NCC-noAAT", Ncc.protocol_no_async_aware);
+    ("NCC-noRTC", Ncc.protocol_no_rtc);  (* negative control: must fail strict *)
     ("dOCC", Baselines.docc);
     ("d2PL-NW", Baselines.d2pl_no_wait);
     ("d2PL-WW", Baselines.d2pl_wound_wait);
@@ -110,7 +114,34 @@ let run_cmd =
           Harness.Runner.No_check
       & info [ "check" ] ~doc:"History check: none, ser or strict.")
   in
-  let f (pname, p) wname load n_servers n_clients duration seed replicas trace check =
+  let faults_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"SEED"
+          ~doc:
+            "Inject a randomized network/node fault schedule derived from SEED \
+             (0 = no faults). Pair with $(b,--request-timeout).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P" ~doc:"Probability each message is dropped.")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P" ~doc:"Probability each message is duplicated.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt client timeout; the attempt is cancelled and retried \
+             when it fires. Required for liveness under message loss.")
+  in
+  let f (pname, p) wname load n_servers n_clients duration seed replicas trace check
+      faults_seed drop dup request_timeout =
     if trace > 0 then Sim.Trace.enable ~capacity:(max 4096 trace) ();
     match List.assoc_opt wname (workloads ~n_servers) with
     | None ->
@@ -118,6 +149,27 @@ let run_cmd =
       exit 2
     | Some mk ->
       let w = mk () in
+      let warmup = Harness.Runner.default.Harness.Runner.warmup in
+      let faults =
+        if faults_seed <> 0 then begin
+          let topo =
+            Cluster.Topology.make ~replicas_per_server:replicas ~n_servers ~n_clients ()
+          in
+          let f =
+            Cluster.Faults.random ~seed:faults_seed
+              ~nodes:(List.init (Cluster.Topology.n_nodes topo) Fun.id)
+              ~crashable:(Cluster.Topology.servers topo)
+              ~horizon:(warmup +. duration)
+          in
+          { f with Cluster.Faults.drop = max f.Cluster.Faults.drop drop;
+                   duplicate = max f.Cluster.Faults.duplicate dup }
+        end
+        else if drop > 0.0 || dup > 0.0 then
+          { Cluster.Faults.none with Cluster.Faults.drop; duplicate = dup }
+        else Cluster.Faults.none
+      in
+      if not (Cluster.Faults.is_none faults) then
+        Format.printf "faults: %a@." Cluster.Faults.pp faults;
       let cfg =
         {
           Harness.Runner.default with
@@ -128,6 +180,8 @@ let run_cmd =
           duration;
           check;
           replicas_per_server = replicas;
+          faults;
+          request_timeout;
         }
       in
       let r = Harness.Runner.run ~label:pname p w cfg in
@@ -165,7 +219,80 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ protocol $ workload $ load $ servers $ clients $ duration $ seed
-      $ replicas $ trace $ check)
+      $ replicas $ trace $ check $ faults_seed $ drop $ dup $ request_timeout)
+
+(* --- chaos -------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let doc =
+    "Seeded chaos runs: each seed derives a randomized fault schedule (message \
+     drop/duplication/extra delay, link partitions, server crashes); the \
+     resulting history is checked strictly. Failing seeds print a one-command \
+     replay line."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, p) -> (n, (n, p))) protocols)) ("NCC", Ncc.protocol)
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Concurrency-control protocol.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "google-f1"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeded runs.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Replay the single run for SEED and print its digest and schedule.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ]
+          ~doc:"Replica nodes per server (use 2 with NCC-R / NCC-R-def).")
+  in
+  let no_crashes =
+    Arg.(
+      value & flag
+      & info [ "no-crashes" ] ~doc:"Restrict schedules to network faults only.")
+  in
+  let f (pname, p) wname seeds replay replicas no_crashes =
+    let base =
+      { Harness.Chaos.base_default with Harness.Runner.replicas_per_server = replicas }
+    in
+    let allow_crashes = (not no_crashes) && replicas = 0 in
+    match List.assoc_opt wname (workloads ~n_servers:base.Harness.Runner.n_servers) with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" wname;
+      exit 2
+    | Some mk ->
+      let run_seed seed =
+        let r = Harness.Chaos.run ~allow_crashes ~base p (mk ()) ~seed in
+        Format.printf "%a@." Harness.Chaos.pp_report r;
+        if not r.Harness.Chaos.ok then
+          Printf.printf "  replay: %s\n"
+            (Harness.Chaos.replay_command ~protocol:pname ~workload:wname ~seed);
+        r.Harness.Chaos.ok
+      in
+      (match replay with
+       | Some seed ->
+         let r = Harness.Chaos.run ~allow_crashes ~base p (mk ()) ~seed in
+         Format.printf "%a@.schedule: %a@." Harness.Chaos.pp_report r
+           Cluster.Faults.pp r.Harness.Chaos.faults;
+         if not r.Harness.Chaos.ok then exit 1
+       | None ->
+         let oks = List.init seeds (fun i -> run_seed (i + 1)) in
+         let failed = List.length (List.filter not oks) in
+         Printf.printf "%d/%d seeds passed\n" (seeds - failed) seeds;
+         if failed > 0 then exit 1)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes)
 
 (* --- fig ---------------------------------------------------------------- *)
 
@@ -189,4 +316,4 @@ let fig_cmd =
 let () =
   let doc = "NCC (OSDI 2023) reproduction: simulated strictly serializable datastores" in
   let info = Cmd.info "ncc_sim" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; fig_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; fig_cmd ]))

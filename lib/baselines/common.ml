@@ -45,6 +45,12 @@ let next_attempt (t : attempt_counter) txn_id =
   Hashtbl.replace t txn_id a;
   a
 
+(* The wire id of [txn_id]'s current (latest-submitted) attempt, if the
+   coordinator ever saw it. Used by cancellation to find the in-flight
+   state a request timeout refers to. *)
+let current_wire (t : attempt_counter) ~txn_id =
+  Option.map (fun attempt -> wire_id ~txn_id ~attempt) (Hashtbl.find_opt t txn_id)
+
 (* Pre-assigned timestamp from the local (possibly skewed) clock, kept
    strictly monotonic per client so same-instant transactions from one
    client never collide (§4.1's uniqueness assumption). The floor is

@@ -27,19 +27,25 @@ type variant = No_wait | Wound_wait
 type msg =
   | Acquire of {
       a_wire : int;
+      a_round : int;           (* round number within the attempt *)
       a_ts : Ts.t;
       a_ops : Types.op list;   (* lock+execute: reads and (no-wait) writes *)
       a_exclusive : bool;      (* wound-wait prepare round: writes only *)
       a_bytes : int;
     }
-  | Acquire_reply of { a_wire : int; a_ok : bool; a_results : Common.rres list }
+  | Acquire_reply of {
+      r_wire : int;
+      r_round : int;           (* echo of a_round *)
+      r_ok : bool;
+      r_results : Common.rres list;
+    }
   | Wound of { w_wire : int }  (* server -> victim's coordinator *)
   | Decide of { d_wire : int; d_commit : bool }
 
 let msg_cost (c : Harness.Cost.t) = function
   | Acquire a -> Harness.Cost.server c ~ops:(List.length a.a_ops) ~bytes:a.a_bytes ()
   | Decide _ -> Harness.Cost.server c ()
-  | Acquire_reply r -> Harness.Cost.server c ~ops:(List.length r.a_results) ()
+  | Acquire_reply r -> Harness.Cost.server c ~ops:(List.length r.r_results) ()
   | Wound _ -> Harness.Cost.server c ()
 
 (* --- server --------------------------------------------------------- *)
@@ -47,6 +53,7 @@ let msg_cost (c : Harness.Cost.t) = function
 type txn_state = {
   mutable h_keys : Types.key list;  (* keys with locks held here *)
   mutable h_versions : (Types.key * Store.version) list;  (* installed writes *)
+  mutable h_max_round : int;  (* highest Acquire round processed *)
   h_client : Types.node_id;
 }
 
@@ -54,6 +61,7 @@ type txn_state = {
    asynchronously as queued locks are granted. *)
 type pending_msg = {
   pm_wire : int;
+  pm_round : int;
   pm_src : Types.node_id;
   mutable pm_waiting : int;
   mutable pm_results : Common.rres list;
@@ -87,7 +95,7 @@ let txn_state s ~wire ~client =
   match Hashtbl.find_opt s.txns wire with
   | Some st -> st
   | None ->
-    let st = { h_keys = []; h_versions = []; h_client = client } in
+    let st = { h_keys = []; h_versions = []; h_max_round = 0; h_client = client } in
     Hashtbl.add s.txns wire st;
     st
 
@@ -104,7 +112,12 @@ let reply_pending s pm =
   if pm.pm_waiting = 0 then
     s.ctx.send ~dst:pm.pm_src
       (Acquire_reply
-         { a_wire = pm.pm_wire; a_ok = not pm.pm_failed; a_results = pm.pm_results })
+         {
+           r_wire = pm.pm_wire;
+           r_round = pm.pm_round;
+           r_ok = not pm.pm_failed;
+           r_results = pm.pm_results;
+         })
 
 let release_all s ~wire =
   match Hashtbl.find_opt s.txns wire with
@@ -127,16 +140,25 @@ let decide s ~wire ~commit =
     release_all s ~wire
   end
 
-let acquire s ~src (a : int * Ts.t * Types.op list * bool * int) =
-  let wire, ts, ops, exclusive, _bytes = a in
+let acquire s ~src (a : int * int * Ts.t * Types.op list * bool * int) =
+  let wire, round, ts, ops, exclusive, _bytes = a in
   if Hashtbl.mem s.decided wire then
     (* late round of an attempt already aborted (e.g. wounded) *)
-    s.ctx.send ~dst:src (Acquire_reply { a_wire = wire; a_ok = false; a_results = [] })
+    s.ctx.send ~dst:src
+      (Acquire_reply { r_wire = wire; r_round = round; r_ok = false; r_results = [] })
   else begin
     let st = txn_state s ~wire ~client:src in
+    if round <= st.h_max_round then
+      (* duplicate delivery of a round already processed here:
+         re-executing would install duplicate versions. Drop it; the
+         reply it duplicates is deduplicated client-side. *)
+      ()
+    else begin
+    st.h_max_round <- round;
     let owner = { Locks.txn = wire; ts } in
     let pm =
-      { pm_wire = wire; pm_src = src; pm_waiting = 0; pm_results = []; pm_failed = false }
+      { pm_wire = wire; pm_round = round; pm_src = src; pm_waiting = 0;
+        pm_results = []; pm_failed = false }
     in
     let mode_of op =
       if exclusive || Types.is_write op then Locks.Exclusive else Locks.Shared
@@ -198,12 +220,13 @@ let acquire s ~src (a : int * Ts.t * Types.op list * bool * int) =
                s.ctx.timer ~delay:2e-4 poll))
       ops;
     reply_pending s pm
+    end
   end
 
 let server_handle s ~src msg =
   match msg with
-  | Acquire { a_wire; a_ts; a_ops; a_exclusive; a_bytes } ->
-    acquire s ~src (a_wire, a_ts, a_ops, a_exclusive, a_bytes)
+  | Acquire { a_wire; a_round; a_ts; a_ops; a_exclusive; a_bytes } ->
+    acquire s ~src (a_wire, a_round, a_ts, a_ops, a_exclusive, a_bytes)
   | Decide { d_wire; d_commit } -> decide s ~wire:d_wire ~commit:d_commit
   | Acquire_reply _ | Wound _ -> ()
 
@@ -218,6 +241,8 @@ type inflight = {
   mutable f_phase : phase;
   mutable f_shots : Txn.shot list;
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current round; stamps Acquire messages *)
+  mutable f_replied : Types.node_id list;  (* servers heard this round *)
   mutable f_results : Common.rres list;
   mutable f_ok : bool;
   mutable f_contacted : Types.node_id list;
@@ -247,6 +272,8 @@ let make_client cvariant cctx ~report =
 let send_round c f ops ~exclusive =
   let by_server = Cluster.Topology.ops_by_server c.cctx.topo ops in
   f.f_awaiting <- List.length by_server;
+  f.f_round <- f.f_round + 1;
+  f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
       if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
@@ -254,6 +281,7 @@ let send_round c f ops ~exclusive =
         (Acquire
            {
              a_wire = f.f_wire;
+             a_round = f.f_round;
              a_ts = f.f_ts;
              a_ops = ops;
              a_exclusive = exclusive;
@@ -307,6 +335,8 @@ let submit c txn =
       f_phase = Executing;
       f_shots = txn.Txn.shots;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
       f_results = [];
       f_ok = true;
       f_contacted = [];
@@ -315,14 +345,17 @@ let submit c txn =
   Hashtbl.replace c.inflight wire f;
   advance c f
 
-let client_handle c ~src:_ msg =
+let client_handle c ~src msg =
   match msg with
-  | Acquire_reply { a_wire; a_ok; a_results } ->
-    (match Hashtbl.find_opt c.inflight a_wire with
+  | Acquire_reply { r_wire; r_round; r_ok; r_results } ->
+    (match Hashtbl.find_opt c.inflight r_wire with
      | None -> ()
+     | Some f when r_round <> f.f_round || List.mem src f.f_replied ->
+       () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
-       if not a_ok then f.f_ok <- false;
-       f.f_results <- List.rev_append a_results f.f_results;
+       f.f_replied <- src :: f.f_replied;
+       if not r_ok then f.f_ok <- false;
+       f.f_results <- List.rev_append r_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
        if f.f_awaiting = 0 then
          if f.f_ok then advance c f
@@ -339,6 +372,21 @@ let client_handle c ~src:_ msg =
        c.n_wounded <- c.n_wounded + 1;
        finish c f ~commit:false ~reason:Outcome.Wounded)
   | Acquire _ | Decide _ -> ()
+
+(* Request timeout: abandon the attempt. The abort Decides release
+   every lock and undecided version on contacted servers; a server's
+   decided set refuses any Acquire still in flight, and the wound-wait
+   poll loop observes the decision and fails its pending request. *)
+let cancel c txn =
+  let f =
+    Option.bind
+      (Common.current_wire c.attempts ~txn_id:txn.Txn.id)
+      (Hashtbl.find_opt c.inflight)
+  in
+  (match f with
+   | Some f -> finish c f ~commit:false ~reason:Outcome.Timed_out
+   | None -> c.report (Outcome.aborted ~reason:Outcome.Timed_out txn));
+  `Cancelled
 
 (* --- protocol values -------------------------------------------------- *)
 
@@ -367,6 +415,7 @@ let make variant name : Harness.Protocol.t =
     let make_client = make_client variant
     let client_handle = client_handle
     let submit = submit
+    let cancel = cancel
     let client_counters c = [ ("wounded_txns", float_of_int c.n_wounded) ]
 
     include Harness.Protocol.No_replicas

@@ -19,8 +19,8 @@ module Store = Mvstore.Store
 module Locks = Mvstore.Locks
 
 type msg =
-  | Exec of { x_wire : int; x_keys : Types.key list; x_bytes : int }
-  | Exec_reply of { e_wire : int; e_results : Common.rres list }
+  | Exec of { x_wire : int; x_round : int; x_keys : Types.key list; x_bytes : int }
+  | Exec_reply of { e_wire : int; e_round : int; e_results : Common.rres list }
   | Prepare of {
       p_wire : int;
       p_ts : Ts.t;
@@ -54,18 +54,23 @@ type server = {
   store : Store.t;
   locks : Locks.t;
   prepared : (int, prepared) Hashtbl.t;
+  (* Wires that already saw a Decide. A Prepare arriving after its own
+     abort (the coordinator timed out and its Decide overtook the
+     Prepare) must not install locks/versions nobody will release. *)
+  decided : (int, unit) Hashtbl.t;
   mutable n_validation_fails : int;
 }
 
 let make_server ctx =
   { ctx; store = Store.create (); locks = Locks.create ();
-    prepared = Hashtbl.create 256; n_validation_fails = 0 }
+    prepared = Hashtbl.create 256; decided = Hashtbl.create 256;
+    n_validation_fails = 0 }
 
-let exec_reads s ~src ~wire keys =
+let exec_reads s ~src ~wire ~round keys =
   let results =
     List.map (fun key -> Common.result_of_read (Store.most_recent_committed s.store key) key) keys
   in
-  s.ctx.send ~dst:src (Exec_reply { e_wire = wire; e_results = results })
+  s.ctx.send ~dst:src (Exec_reply { e_wire = wire; e_round = round; e_results = results })
 
 (* Prepare: each read must still see the latest committed version and
    takes a shared validation lock until commit (without it, two
@@ -76,6 +81,24 @@ let exec_reads s ~src ~wire keys =
    prepare, which is the contention-window abort the paper highlights
    (Fig 2a). *)
 let prepare s ~src ~wire ~ts ~reads ~writes =
+  if Hashtbl.mem s.decided wire then
+    (* the attempt was already decided (timed-out coordinator's abort
+       overtook this Prepare): refuse without installing anything *)
+    s.ctx.send ~dst:src (Prepare_reply { p_wire = wire; p_ok = false; p_writes = [] })
+  else if Hashtbl.mem s.prepared wire then
+    (* duplicate delivery of a Prepare that already succeeded here;
+       re-validating would deadlock against our own locks *)
+    s.ctx.send ~dst:src
+      (Prepare_reply
+         {
+           p_wire = wire;
+           p_ok = true;
+           p_writes =
+             List.map
+               (fun (key, v) -> Common.result_of_write v key)
+               (Hashtbl.find s.prepared wire).pr_versions;
+         })
+  else
   let owner = { Locks.txn = wire; ts } in
   let rec lock_all acquired = function
     | [] -> Ok acquired
@@ -123,6 +146,7 @@ let prepare s ~src ~wire ~ts ~reads ~writes =
        })
 
 let decide s ~wire ~commit =
+  Hashtbl.replace s.decided wire ();
   match Hashtbl.find_opt s.prepared wire with
   | None -> ()
   | Some p ->
@@ -135,7 +159,8 @@ let decide s ~wire ~commit =
 
 let server_handle s ~src msg =
   match msg with
-  | Exec { x_wire; x_keys; _ } -> exec_reads s ~src ~wire:x_wire x_keys
+  | Exec { x_wire; x_round; x_keys; _ } ->
+    exec_reads s ~src ~wire:x_wire ~round:x_round x_keys
   | Prepare { p_wire; p_ts; p_reads; p_writes; _ } ->
     prepare s ~src ~wire:p_wire ~ts:p_ts ~reads:p_reads ~writes:p_writes
   | Decide { d_wire; d_commit } -> decide s ~wire:d_wire ~commit:d_commit
@@ -152,6 +177,8 @@ type inflight = {
   mutable f_phase : phase;
   mutable f_shots : Txn.shot list;
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current execute round; stamps Exec messages *)
+  mutable f_replied : Types.node_id list;  (* servers heard this round/phase *)
   mutable f_results : Common.rres list;
   mutable f_prepare_ok : bool;
   f_participants : Types.node_id list;
@@ -187,12 +214,15 @@ let rec send_exec c f shot =
   | [] -> advance c f
   | parts ->
     f.f_awaiting <- List.length parts;
+    f.f_round <- f.f_round + 1;
+    f.f_replied <- [];
     List.iter
       (fun (server, ops) ->
         c.cctx.send ~dst:server
           (Exec
              {
                x_wire = f.f_wire;
+               x_round = f.f_round;
                x_keys = List.map Types.op_key ops;
                x_bytes = f.f_txn.Txn.bytes;
              }))
@@ -210,6 +240,7 @@ and start_prepare c f =
   let ops = Txn.ops f.f_txn in
   let by_server = Cluster.Topology.ops_by_server c.cctx.topo ops in
   f.f_awaiting <- List.length by_server;
+  f.f_replied <- [];
   f.f_prepared <- List.map fst by_server;
   List.iter
     (fun (server, ops) ->
@@ -261,6 +292,8 @@ let submit c txn =
       f_phase = Executing;
       f_shots = txn.Txn.shots;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
       f_results = [];
       f_prepare_ok = true;
       f_participants = participants;
@@ -280,18 +313,22 @@ let finish c f ~commit ~reason =
     (Common.outcome ~txn:f.f_txn ~status ~results:(List.rev f.f_results)
        ~commit_ts:(if commit then Some f.f_ts else None))
 
-let client_handle c ~src:_ msg =
+let client_handle c ~src msg =
   match msg with
-  | Exec_reply { e_wire; e_results } ->
+  | Exec_reply { e_wire; e_round; e_results } ->
     (match Hashtbl.find_opt c.inflight e_wire with
-     | Some f when f.f_phase = Executing ->
+     | Some f
+       when f.f_phase = Executing && e_round = f.f_round
+            && not (List.mem src f.f_replied) ->
+       f.f_replied <- src :: f.f_replied;
        f.f_results <- List.rev_append e_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
        if f.f_awaiting = 0 then advance c f
      | Some _ | None -> ())
   | Prepare_reply { p_wire; p_ok; p_writes } ->
     (match Hashtbl.find_opt c.inflight p_wire with
-     | Some f when f.f_phase = Preparing ->
+     | Some f when f.f_phase = Preparing && not (List.mem src f.f_replied) ->
+       f.f_replied <- src :: f.f_replied;
        if not p_ok then f.f_prepare_ok <- false;
        f.f_results <- List.rev_append p_writes f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
@@ -300,6 +337,21 @@ let client_handle c ~src:_ msg =
          else finish c f ~commit:false ~reason:Outcome.Validation_failed
      | Some _ | None -> ())
   | Exec _ | Prepare _ | Decide _ -> ()
+
+(* Request timeout: abandon the attempt. [finish ~commit:false] sends
+   abort Decides to every server that was sent a Prepare, releasing
+   locks and undecided versions; servers whose Prepare is still in
+   flight refuse it on arrival via their decided set. *)
+let cancel c txn =
+  let f =
+    Option.bind
+      (Common.current_wire c.attempts ~txn_id:txn.Txn.id)
+      (Hashtbl.find_opt c.inflight)
+  in
+  (match f with
+   | Some f -> finish c f ~commit:false ~reason:Outcome.Timed_out
+   | None -> c.report (Outcome.aborted ~reason:Outcome.Timed_out txn));
+  `Cancelled
 
 (* --- protocol value -------------------------------------------------- *)
 
@@ -323,6 +375,7 @@ let protocol : Harness.Protocol.t =
     let make_client = make_client
     let client_handle = client_handle
     let submit = submit
+    let cancel = cancel
     let client_counters _ = []
 
     include Harness.Protocol.No_replicas

@@ -12,8 +12,19 @@ open Kernel
 module Store = Mvstore.Store
 
 type msg =
-  | Exec of { x_wire : int; x_ts : Ts.t; x_ops : Types.op list; x_bytes : int }
-  | Exec_reply of { e_wire : int; e_ok : bool; e_results : Common.rres list }
+  | Exec of {
+      x_wire : int;
+      x_round : int;  (* shot number within the attempt *)
+      x_ts : Ts.t;
+      x_ops : Types.op list;
+      x_bytes : int;
+    }
+  | Exec_reply of {
+      e_wire : int;
+      e_round : int;  (* echo of x_round *)
+      e_ok : bool;
+      e_results : Common.rres list;
+    }
   | Decide of { d_wire : int; d_commit : bool }
 
 let msg_cost (c : Harness.Cost.t) = function
@@ -25,6 +36,7 @@ let msg_cost (c : Harness.Cost.t) = function
 
 type pending_msg = {
   pm_wire : int;
+  pm_round : int;
   pm_src : Types.node_id;
   mutable pm_waiting : int;
   mutable pm_results : Common.rres list;
@@ -36,6 +48,7 @@ type server = {
   store : Store.t;
   installed : (int, (Types.key * Store.version) list) Hashtbl.t;
   decided : (int, bool) Hashtbl.t;
+  rounds : (int, int) Hashtbl.t;  (* wire -> highest Exec round processed *)
   mutable n_ts_aborts : int;
   mutable n_waits : int;
 }
@@ -46,6 +59,7 @@ let make_server ctx =
     store = Store.create ();
     installed = Hashtbl.create 256;
     decided = Hashtbl.create 4096;
+    rounds = Hashtbl.create 256;
     n_ts_aborts = 0;
     n_waits = 0;
   }
@@ -53,7 +67,13 @@ let make_server ctx =
 let reply_pending s pm =
   if pm.pm_waiting = 0 then
     s.ctx.send ~dst:pm.pm_src
-      (Exec_reply { e_wire = pm.pm_wire; e_ok = not pm.pm_failed; e_results = pm.pm_results })
+      (Exec_reply
+         {
+           e_wire = pm.pm_wire;
+           e_round = pm.pm_round;
+           e_ok = not pm.pm_failed;
+           e_results = pm.pm_results;
+         })
 
 (* A read at ts observes the latest version with t_w <= ts. If that
    version is undecided, the read parks until the fate is known: a
@@ -98,11 +118,21 @@ let exec_write s pm ~ts key value =
       pm.pm_results <- Common.result_of_write nv key :: pm.pm_results
     end
 
-let exec s ~src ~wire ~ts ops =
+let exec s ~src ~wire ~round ~ts ops =
   if Hashtbl.mem s.decided wire then
-    s.ctx.send ~dst:src (Exec_reply { e_wire = wire; e_ok = false; e_results = [] })
+    s.ctx.send ~dst:src
+      (Exec_reply { e_wire = wire; e_round = round; e_ok = false; e_results = [] })
+  else if round <= Option.value ~default:0 (Hashtbl.find_opt s.rounds wire) then
+    (* duplicate delivery of a shot already executed here: running it
+       again would install duplicate versions. Drop it; the reply it
+       duplicates is deduplicated client-side. *)
+    ()
   else begin
-    let pm = { pm_wire = wire; pm_src = src; pm_waiting = 0; pm_results = []; pm_failed = false } in
+    Hashtbl.replace s.rounds wire round;
+    let pm =
+      { pm_wire = wire; pm_round = round; pm_src = src; pm_waiting = 0;
+        pm_results = []; pm_failed = false }
+    in
     List.iter
       (fun op ->
         if not pm.pm_failed then
@@ -128,7 +158,8 @@ let decide s ~wire ~commit =
 
 let server_handle s ~src msg =
   match msg with
-  | Exec { x_wire; x_ts; x_ops; _ } -> exec s ~src ~wire:x_wire ~ts:x_ts x_ops
+  | Exec { x_wire; x_round; x_ts; x_ops; _ } ->
+    exec s ~src ~wire:x_wire ~round:x_round ~ts:x_ts x_ops
   | Decide { d_wire; d_commit } -> decide s ~wire:d_wire ~commit:d_commit
   | Exec_reply _ -> ()
 
@@ -140,6 +171,8 @@ type inflight = {
   f_ts : Ts.t;
   mutable f_shots : Txn.shot list;
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current shot number; stamps Exec messages *)
+  mutable f_replied : Types.node_id list;  (* servers heard this round *)
   mutable f_results : Common.rres list;
   mutable f_ok : bool;
   mutable f_contacted : Types.node_id list;
@@ -165,23 +198,30 @@ let make_client cctx ~report =
 let send_shot c f shot =
   let by_server = Cluster.Topology.ops_by_server c.cctx.topo shot in
   f.f_awaiting <- List.length by_server;
+  f.f_round <- f.f_round + 1;
+  f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
       if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
       c.cctx.send ~dst:server
-        (Exec { x_wire = f.f_wire; x_ts = f.f_ts; x_ops = ops; x_bytes = f.f_txn.Txn.bytes }))
+        (Exec
+           {
+             x_wire = f.f_wire;
+             x_round = f.f_round;
+             x_ts = f.f_ts;
+             x_ops = ops;
+             x_bytes = f.f_txn.Txn.bytes;
+           }))
     by_server
 
-let finish c f ~commit =
+let finish c f ~commit ~reason =
   Hashtbl.remove c.inflight f.f_wire;
   (* read-only transactions have nothing to decide: no commit round *)
   if not f.f_txn.Txn.read_only then
     List.iter
       (fun server -> c.cctx.send ~dst:server (Decide { d_wire = f.f_wire; d_commit = commit }))
       f.f_contacted;
-  let status =
-    if commit then Outcome.Committed else Outcome.Aborted Outcome.Ts_order_violation
-  in
+  let status = if commit then Outcome.Committed else Outcome.Aborted reason in
   c.report
     (Common.outcome ~txn:f.f_txn ~status ~results:(List.rev f.f_results)
        ~commit_ts:(if commit then Some f.f_ts else None))
@@ -191,7 +231,7 @@ let advance c f =
   | shot :: rest ->
     f.f_shots <- rest;
     send_shot c f shot
-  | [] -> finish c f ~commit:true
+  | [] -> finish c f ~commit:true ~reason:(Outcome.Other "")
 
 let submit c txn =
   Common.reject_dynamic txn;
@@ -204,6 +244,8 @@ let submit c txn =
       f_ts = Common.clock_ts c.cctx ~floor:c.ts_floor;
       f_shots = txn.Txn.shots;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
       f_results = [];
       f_ok = true;
       f_contacted = [];
@@ -212,17 +254,37 @@ let submit c txn =
   Hashtbl.replace c.inflight wire f;
   advance c f
 
-let client_handle c ~src:_ msg =
+let client_handle c ~src msg =
   match msg with
-  | Exec_reply { e_wire; e_ok; e_results } ->
+  | Exec_reply { e_wire; e_round; e_ok; e_results } ->
     (match Hashtbl.find_opt c.inflight e_wire with
      | None -> ()
+     | Some f when e_round <> f.f_round || List.mem src f.f_replied ->
+       () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
+       f.f_replied <- src :: f.f_replied;
        if not e_ok then f.f_ok <- false;
        f.f_results <- List.rev_append e_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
-       if f.f_awaiting = 0 then if f.f_ok then advance c f else finish c f ~commit:false)
+       if f.f_awaiting = 0 then
+         if f.f_ok then advance c f
+         else finish c f ~commit:false ~reason:Outcome.Ts_order_violation)
   | Exec _ | Decide _ -> ()
+
+(* Request timeout: abandon the attempt. The abort Decides discard any
+   versions the attempt installed; servers refuse late shots via their
+   decided set. Read-only attempts hold nothing, so there is nothing
+   to release. *)
+let cancel c txn =
+  let f =
+    Option.bind
+      (Common.current_wire c.attempts ~txn_id:txn.Txn.id)
+      (Hashtbl.find_opt c.inflight)
+  in
+  (match f with
+   | Some f -> finish c f ~commit:false ~reason:Outcome.Timed_out
+   | None -> c.report (Outcome.aborted ~reason:Outcome.Timed_out txn));
+  `Cancelled
 
 let protocol : Harness.Protocol.t =
   (module struct
@@ -249,6 +311,7 @@ let protocol : Harness.Protocol.t =
     let make_client = make_client
     let client_handle = client_handle
     let submit = submit
+    let cancel = cancel
     let client_counters _ = []
 
     include Harness.Protocol.No_replicas

@@ -15,11 +15,17 @@ module Store = Mvstore.Store
 type msg =
   | Prepare of {
       p_wire : int;
+      p_round : int;  (* shot number within the attempt *)
       p_ts : Ts.t;
       p_ops : Types.op list;
       p_bytes : int;
     }
-  | Prepare_reply of { p_wire : int; p_ok : bool; p_results : Common.rres list }
+  | Prepare_reply of {
+      p_wire : int;
+      p_round : int;  (* echo *)
+      p_ok : bool;
+      p_results : Common.rres list;
+    }
   | Decide of { d_wire : int; d_commit : bool }
 
 let msg_cost (c : Harness.Cost.t) = function
@@ -33,17 +39,31 @@ type server = {
   ctx : msg Cluster.Net.ctx;
   store : Store.t;
   prepared : (int, (Types.key * Store.version) list) Hashtbl.t;
+  (* Wires that saw a Decide: a Prepare overtaken by its own abort must
+     be refused, or its tentative writes would never be resolved. *)
+  decided : (int, unit) Hashtbl.t;
+  rounds : (int, int) Hashtbl.t;  (* wire -> highest Prepare round seen *)
   mutable n_fails : int;
 }
 
 let make_server ctx =
-  { ctx; store = Store.create (); prepared = Hashtbl.create 256; n_fails = 0 }
+  { ctx; store = Store.create (); prepared = Hashtbl.create 256;
+    decided = Hashtbl.create 256; rounds = Hashtbl.create 256; n_fails = 0 }
 
 (* OCC-TS checks: a read at ts must observe the latest committed
    version and not overtake a pending smaller-timestamp write; a write
    at ts must not invalidate an already-performed read (version read
    at a later timestamp) nor go below the latest committed write. *)
-let prepare s ~src ~wire ~ts ~ops ~bytes:_ =
+let prepare s ~src ~wire ~round ~ts ~ops ~bytes:_ =
+  if Hashtbl.mem s.decided wire then
+    s.ctx.send ~dst:src
+      (Prepare_reply { p_wire = wire; p_round = round; p_ok = false; p_results = [] })
+  else if round <= Option.value ~default:0 (Hashtbl.find_opt s.rounds wire) then
+    (* duplicate delivery of a shot already prepared here: preparing it
+       again would install duplicate tentative versions. Drop it. *)
+    ()
+  else begin
+  Hashtbl.replace s.rounds wire round;
   let rec run acc installed = function
     | [] -> Ok (List.rev acc, installed)
     | Types.Read key :: rest ->
@@ -72,14 +92,21 @@ let prepare s ~src ~wire ~ts ~ops ~bytes:_ =
   in
   match run [] [] ops with
   | Ok (results, installed) ->
-    Hashtbl.replace s.prepared wire installed;
-    s.ctx.send ~dst:src (Prepare_reply { p_wire = wire; p_ok = true; p_results = results })
+    (* accumulate across shots: every tentative version of this wire
+       must be resolved by the single Decide *)
+    let prev = Option.value ~default:[] (Hashtbl.find_opt s.prepared wire) in
+    Hashtbl.replace s.prepared wire (installed @ prev);
+    s.ctx.send ~dst:src
+      (Prepare_reply { p_wire = wire; p_round = round; p_ok = true; p_results = results })
   | Error installed ->
     s.n_fails <- s.n_fails + 1;
     List.iter (fun (key, v) -> Store.abort_version s.store key v) installed;
-    s.ctx.send ~dst:src (Prepare_reply { p_wire = wire; p_ok = false; p_results = [] })
+    s.ctx.send ~dst:src
+      (Prepare_reply { p_wire = wire; p_round = round; p_ok = false; p_results = [] })
+  end
 
 let decide s ~wire ~commit =
+  Hashtbl.replace s.decided wire ();
   match Hashtbl.find_opt s.prepared wire with
   | None -> ()
   | Some installed ->
@@ -91,8 +118,8 @@ let decide s ~wire ~commit =
 
 let server_handle s ~src msg =
   match msg with
-  | Prepare { p_wire; p_ts; p_ops; p_bytes } ->
-    prepare s ~src ~wire:p_wire ~ts:p_ts ~ops:p_ops ~bytes:p_bytes
+  | Prepare { p_wire; p_round; p_ts; p_ops; p_bytes } ->
+    prepare s ~src ~wire:p_wire ~round:p_round ~ts:p_ts ~ops:p_ops ~bytes:p_bytes
   | Decide { d_wire; d_commit } -> decide s ~wire:d_wire ~commit:d_commit
   | Prepare_reply _ -> ()
 
@@ -104,6 +131,8 @@ type inflight = {
   f_ts : Ts.t;
   mutable f_shots : Txn.shot list;
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current shot number; stamps Prepare messages *)
+  mutable f_replied : Types.node_id list;  (* servers heard this round *)
   mutable f_results : Common.rres list;
   mutable f_ok : bool;
   mutable f_contacted : Types.node_id list;
@@ -129,21 +158,28 @@ let make_client cctx ~report =
 let send_shot c f shot =
   let by_server = Cluster.Topology.ops_by_server c.cctx.topo shot in
   f.f_awaiting <- List.length by_server;
+  f.f_round <- f.f_round + 1;
+  f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
       if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
       c.cctx.send ~dst:server
-        (Prepare { p_wire = f.f_wire; p_ts = f.f_ts; p_ops = ops; p_bytes = f.f_txn.Txn.bytes }))
+        (Prepare
+           {
+             p_wire = f.f_wire;
+             p_round = f.f_round;
+             p_ts = f.f_ts;
+             p_ops = ops;
+             p_bytes = f.f_txn.Txn.bytes;
+           }))
     by_server
 
-let finish c f ~commit =
+let finish c f ~commit ~reason =
   Hashtbl.remove c.inflight f.f_wire;
   List.iter
     (fun server -> c.cctx.send ~dst:server (Decide { d_wire = f.f_wire; d_commit = commit }))
     f.f_contacted;
-  let status =
-    if commit then Outcome.Committed else Outcome.Aborted Outcome.Validation_failed
-  in
+  let status = if commit then Outcome.Committed else Outcome.Aborted reason in
   c.report
     (Common.outcome ~txn:f.f_txn ~status ~results:(List.rev f.f_results)
        ~commit_ts:(if commit then Some f.f_ts else None))
@@ -153,7 +189,7 @@ let advance c f =
   | shot :: rest ->
     f.f_shots <- rest;
     send_shot c f shot
-  | [] -> finish c f ~commit:true
+  | [] -> finish c f ~commit:true ~reason:(Outcome.Other "")
 
 let submit c txn =
   Common.reject_dynamic txn;
@@ -166,6 +202,8 @@ let submit c txn =
       f_ts = Common.clock_ts c.cctx ~floor:c.ts_floor;
       f_shots = txn.Txn.shots;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
       f_results = [];
       f_ok = true;
       f_contacted = [];
@@ -174,17 +212,36 @@ let submit c txn =
   Hashtbl.replace c.inflight wire f;
   advance c f
 
-let client_handle c ~src:_ msg =
+let client_handle c ~src msg =
   match msg with
-  | Prepare_reply { p_wire; p_ok; p_results } ->
+  | Prepare_reply { p_wire; p_round; p_ok; p_results } ->
     (match Hashtbl.find_opt c.inflight p_wire with
      | None -> ()
+     | Some f when p_round <> f.f_round || List.mem src f.f_replied ->
+       () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
+       f.f_replied <- src :: f.f_replied;
        if not p_ok then f.f_ok <- false;
        f.f_results <- List.rev_append p_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
-       if f.f_awaiting = 0 then if f.f_ok then advance c f else finish c f ~commit:false)
+       if f.f_awaiting = 0 then
+         if f.f_ok then advance c f
+         else finish c f ~commit:false ~reason:Outcome.Validation_failed)
   | Prepare _ | Decide _ -> ()
+
+(* Request timeout: abandon the attempt. The abort Decides discard the
+   tentative versions every contacted participant installed; late
+   Prepares of this wire are refused via the server decided set. *)
+let cancel c txn =
+  let f =
+    Option.bind
+      (Common.current_wire c.attempts ~txn_id:txn.Txn.id)
+      (Hashtbl.find_opt c.inflight)
+  in
+  (match f with
+   | Some f -> finish c f ~commit:false ~reason:Outcome.Timed_out
+   | None -> c.report (Outcome.aborted ~reason:Outcome.Timed_out txn));
+  `Cancelled
 
 let protocol : Harness.Protocol.t =
   (module struct
@@ -206,6 +263,7 @@ let protocol : Harness.Protocol.t =
     let make_client = make_client
     let client_handle = client_handle
     let submit = submit
+    let cancel = cancel
     let client_counters _ = []
 
     include Harness.Protocol.No_replicas

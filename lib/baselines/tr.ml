@@ -22,10 +22,16 @@ open Kernel
 module Store = Mvstore.Store
 
 type msg =
-  | Preaccept of { pa_wire : int; pa_ops : Types.op list; pa_bytes : int }
-  | Preaccept_reply of { pa_wire : int; pa_deps : int list }
+  | Preaccept of {
+      pa_wire : int;
+      pa_round : int;  (* shot number within the attempt *)
+      pa_ops : Types.op list;
+      pa_bytes : int;
+    }
+  | Preaccept_reply of { pa_wire : int; pa_round : int; pa_deps : int list }
   | Commit of { c_wire : int; c_deps : int list }
   | Commit_reply of { c_wire : int; c_results : Common.rres list }
+  | Abort of { ab_wire : int }  (* pre-commit cancellation (request timeout) *)
 
 (* Janus's dependency graph is maintained on every request, which the
    paper identifies as the reason TR "is more costly under low
@@ -40,12 +46,15 @@ let msg_cost (cm : Harness.Cost.t) = function
   | Commit c -> graph_overhead +. Harness.Cost.server cm ~deps:(List.length c.c_deps) ()
   | Preaccept_reply r -> Harness.Cost.server cm ~deps:(List.length r.pa_deps) ()
   | Commit_reply r -> Harness.Cost.server cm ~ops:(List.length r.c_results) ()
+  | Abort _ -> Harness.Cost.server cm ()
 
 (* --- server --------------------------------------------------------- *)
 
 type tstate = {
   t_wire : int;
   t_client : Types.node_id;
+  mutable t_round : int;          (* highest pre-accept round folded in *)
+  mutable t_reply_deps : int list;(* reply of the latest round, for re-sends *)
   mutable t_ops : Types.op list;  (* accumulated over pre-accept rounds *)
   mutable t_deps : int list;      (* set by the commit message *)
   mutable t_committed : bool;     (* commit message received *)
@@ -57,6 +66,10 @@ type server = {
   store : Store.t;
   txns : (int, tstate) Hashtbl.t;
   by_key : (Types.key, int list ref) Hashtbl.t;  (* recent conflicting txns *)
+  aborted : (int, unit) Hashtbl.t;  (* cancelled wires: tombstoned *)
+  (* results of executed transactions, kept so a retransmitted Commit
+     (reply lost in the network) can be answered after the sweep *)
+  done_results : (int, Common.rres list) Hashtbl.t;
   mutable n_dep_entries : int;
   mutable n_blocked_execs : int;
   mutable n_execs : int;  (* drives the periodic sweep of executed txns *)
@@ -68,6 +81,8 @@ let make_server ctx =
     store = Store.create ();
     txns = Hashtbl.create 256;
     by_key = Hashtbl.create 1024;
+    aborted = Hashtbl.create 64;
+    done_results = Hashtbl.create 4096;
     n_dep_entries = 0;
     n_blocked_execs = 0;
     n_execs = 0;
@@ -94,18 +109,31 @@ let key_list s key =
    transactions seen before this one (executed ones that are still
    recent count too - ordering after them is already guaranteed by
    their execution, so they are filtered below). *)
-let preaccept s ~src ~wire ops =
+let preaccept s ~src ~wire ~round ops =
+  if Hashtbl.mem s.aborted wire then
+    (* cancelled attempt: refuse the footprint; an empty dependency set
+       imposes no ordering and the client has already moved on *)
+    s.ctx.send ~dst:src (Preaccept_reply { pa_wire = wire; pa_round = round; pa_deps = [] })
+  else begin
   let st =
     match Hashtbl.find_opt s.txns wire with
     | Some st -> st
     | None ->
       let st =
-        { t_wire = wire; t_client = src; t_ops = []; t_deps = [];
-          t_committed = false; t_executed = false }
+        { t_wire = wire; t_client = src; t_round = 0; t_reply_deps = [];
+          t_ops = []; t_deps = []; t_committed = false; t_executed = false }
       in
       Hashtbl.add s.txns wire st;
       st
   in
+  if round <= st.t_round then
+    (* duplicate delivery: folding the ops in again would double the
+       footprint. Re-send the reply of that round (the client drops it
+       if it already heard us). *)
+    s.ctx.send ~dst:src
+      (Preaccept_reply { pa_wire = wire; pa_round = round; pa_deps = st.t_reply_deps })
+  else begin
+  st.t_round <- round;
   st.t_ops <- st.t_ops @ ops;
   let deps = ref [] in
   List.iter
@@ -141,7 +169,10 @@ let preaccept s ~src ~wire ops =
              !l)
     ops;
   s.n_dep_entries <- s.n_dep_entries + List.length !deps;
-  s.ctx.send ~dst:src (Preaccept_reply { pa_wire = wire; pa_deps = !deps })
+  st.t_reply_deps <- !deps;
+  s.ctx.send ~dst:src (Preaccept_reply { pa_wire = wire; pa_round = round; pa_deps = !deps })
+  end
+  end
 
 (* Does [target] appear on a committed-dependency path out of [from]?
    Used to detect dependency cycles (Janus executes the members of a
@@ -195,25 +226,52 @@ let rec try_execute s st =
               Common.result_of_write v key)
           st.t_ops
       in
+      Hashtbl.replace s.done_results st.t_wire results;
       s.ctx.send ~dst:st.t_client (Commit_reply { c_wire = st.t_wire; c_results = results });
       (* our execution may unblock transactions that depend on us *)
       Hashtbl.iter (fun _ other -> if not other.t_executed then try_execute s other) s.txns
     end
   end
 
-let commit s ~wire deps =
-  match Hashtbl.find_opt s.txns wire with
-  | None -> () (* commit for a transaction that never pre-accepted here *)
-  | Some st ->
-    st.t_deps <- deps;
-    st.t_committed <- true;
-    try_execute s st;
-    if s.n_execs mod 1024 = 0 then sweep s
+let commit s ~src ~wire deps =
+  match Hashtbl.find_opt s.done_results wire with
+  | Some results ->
+    (* retransmitted Commit after we already executed (the reply was
+       lost): answer from the cache, execute nothing twice *)
+    s.ctx.send ~dst:src (Commit_reply { c_wire = wire; c_results = results })
+  | None ->
+    if not (Hashtbl.mem s.aborted wire) then (
+      match Hashtbl.find_opt s.txns wire with
+      | None -> () (* commit for a transaction that never pre-accepted here *)
+      | Some st ->
+        st.t_deps <- deps;
+        st.t_committed <- true;
+        try_execute s st;
+        if s.n_execs mod 1024 = 0 then sweep s)
+
+(* A cancelled transaction is tombstoned: it will never commit, so it
+   imposes no ordering obligation on the transactions that listed it as
+   a dependency — mark it executed and re-try everything it blocked. *)
+let abort s ~wire =
+  if not (Hashtbl.mem s.aborted wire) then begin
+    Hashtbl.replace s.aborted wire ();
+    match Hashtbl.find_opt s.txns wire with
+    | None -> ()
+    | Some st ->
+      if not st.t_executed then begin
+        st.t_executed <- true;
+        Hashtbl.iter
+          (fun _ other -> if not other.t_executed then try_execute s other)
+          s.txns
+      end
+  end
 
 let server_handle s ~src msg =
   match msg with
-  | Preaccept { pa_wire; pa_ops; _ } -> preaccept s ~src ~wire:pa_wire pa_ops
-  | Commit { c_wire; c_deps } -> commit s ~wire:c_wire c_deps
+  | Preaccept { pa_wire; pa_round; pa_ops; _ } ->
+    preaccept s ~src ~wire:pa_wire ~round:pa_round pa_ops
+  | Commit { c_wire; c_deps } -> commit s ~src ~wire:c_wire c_deps
+  | Abort { ab_wire } -> abort s ~wire:ab_wire
   | Preaccept_reply _ | Commit_reply _ -> ()
 
 (* --- client --------------------------------------------------------- *)
@@ -226,6 +284,9 @@ type inflight = {
   mutable f_phase : phase;
   mutable f_shots : Txn.shot list;
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current pre-accept shot; stamps Preaccept *)
+  mutable f_replied : Types.node_id list;   (* heard this pre-accept round *)
+  mutable f_creplied : Types.node_id list;  (* heard for the commit round *)
   mutable f_deps : int list;
   mutable f_results : Common.rres list;
   f_participants : Types.node_id list;
@@ -244,10 +305,18 @@ let make_client cctx ~report =
 let send_preaccept c f shot =
   let by_server = Cluster.Topology.ops_by_server c.cctx.topo shot in
   f.f_awaiting <- List.length by_server;
+  f.f_round <- f.f_round + 1;
+  f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
       c.cctx.send ~dst:server
-        (Preaccept { pa_wire = f.f_wire; pa_ops = ops; pa_bytes = f.f_txn.Txn.bytes }))
+        (Preaccept
+           {
+             pa_wire = f.f_wire;
+             pa_round = f.f_round;
+             pa_ops = ops;
+             pa_bytes = f.f_txn.Txn.bytes;
+           }))
     by_server
 
 let advance c f =
@@ -277,6 +346,9 @@ let submit c txn =
       f_phase = Preaccepting;
       f_shots = txn.Txn.shots;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
+      f_creplied = [];
       f_deps = [];
       f_results = [];
       f_participants = participants;
@@ -285,11 +357,14 @@ let submit c txn =
   Hashtbl.replace c.inflight wire f;
   advance c f
 
-let client_handle c ~src:_ msg =
+let client_handle c ~src msg =
   match msg with
-  | Preaccept_reply { pa_wire; pa_deps } ->
+  | Preaccept_reply { pa_wire; pa_round; pa_deps } ->
     (match Hashtbl.find_opt c.inflight pa_wire with
-     | Some f when f.f_phase = Preaccepting ->
+     | Some f
+       when f.f_phase = Preaccepting && pa_round = f.f_round
+            && not (List.mem src f.f_replied) ->
+       f.f_replied <- src :: f.f_replied;
        List.iter
          (fun d -> if not (List.mem d f.f_deps) then f.f_deps <- d :: f.f_deps)
          pa_deps;
@@ -298,7 +373,8 @@ let client_handle c ~src:_ msg =
      | Some _ | None -> ())
   | Commit_reply { c_wire; c_results } ->
     (match Hashtbl.find_opt c.inflight c_wire with
-     | Some f when f.f_phase = Committing ->
+     | Some f when f.f_phase = Committing && not (List.mem src f.f_creplied) ->
+       f.f_creplied <- src :: f.f_creplied;
        f.f_results <- List.rev_append c_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
        if f.f_awaiting = 0 then begin
@@ -308,7 +384,38 @@ let client_handle c ~src:_ msg =
               ~results:(List.rev f.f_results) ~commit_ts:None)
        end
      | Some _ | None -> ())
-  | Preaccept _ | Commit _ -> ()
+  | Preaccept _ | Commit _ | Abort _ -> ()
+
+(* Request timeout. Before the commit round the attempt can be
+   abandoned: Abort tombstones the footprint on every participant so
+   nobody keeps waiting for our commit. Once Commit has been sent the
+   transaction is past its point of no return — participants may
+   already have executed it — so we retransmit Commit to the laggards
+   (answered from their result cache if the reply was lost) and keep
+   waiting. *)
+let cancel c txn =
+  match
+    Option.bind
+      (Common.current_wire c.attempts ~txn_id:txn.Txn.id)
+      (Hashtbl.find_opt c.inflight)
+  with
+  | None ->
+    c.report (Outcome.aborted ~reason:Outcome.Timed_out txn);
+    `Cancelled
+  | Some f when f.f_phase = Preaccepting ->
+    Hashtbl.remove c.inflight f.f_wire;
+    List.iter
+      (fun server -> c.cctx.send ~dst:server (Abort { ab_wire = f.f_wire }))
+      f.f_participants;
+    c.report (Outcome.aborted ~reason:Outcome.Timed_out txn);
+    `Cancelled
+  | Some f ->
+    List.iter
+      (fun server ->
+        if not (List.mem server f.f_creplied) then
+          c.cctx.send ~dst:server (Commit { c_wire = f.f_wire; c_deps = f.f_deps }))
+      f.f_participants;
+    `Keep_waiting
 
 let protocol : Harness.Protocol.t =
   (module struct
@@ -335,6 +442,7 @@ let protocol : Harness.Protocol.t =
     let make_client = make_client
     let client_handle = client_handle
     let submit = submit
+    let cancel = cancel
     let client_counters _ = []
 
     include Harness.Protocol.No_replicas

@@ -1,0 +1,114 @@
+(* Per-run fault schedules for the simulated network.
+
+   A [spec] is pure data: probabilities for per-message faults (drop,
+   duplication, bounded extra delay) and explicit time windows for link
+   partitions and node crashes. The schedule is interpreted by
+   [Net]; everything it does is driven by a dedicated RNG stream, so a
+   run with a given (seed, spec) pair is exactly reproducible and a run
+   with [none] is bit-identical to a run on the fault-free runtime.
+
+   Crash semantics are fail-stop with durable state: a crashed node
+   loses its inbox and any message being serviced, sends nothing and
+   receives nothing while down, and resumes with its pre-crash handler
+   state. That matches the paper's system model (§2.1: every server is
+   backed by a replicated state machine, so its protocol state survives
+   the failure of any physical replica). Hosts that want amnesia can
+   install a [Net.set_on_restart] hook and reset their own state. *)
+
+type partition = {
+  pt_a : int;
+  pt_b : int;            (* link endpoints (both directions blocked) *)
+  pt_from : float;
+  pt_until : float;      (* window of simulated time, [from, until) *)
+}
+
+type crash = {
+  cr_node : int;
+  cr_at : float;         (* fail-stop instant *)
+  cr_for : float;        (* downtime; restart at cr_at +. cr_for *)
+}
+
+type spec = {
+  drop : float;          (* P(message silently lost) *)
+  duplicate : float;     (* P(message delivered twice) *)
+  delay_prob : float;    (* P(message gets extra delay) *)
+  delay_extra : float;   (* extra delay ~ U(0, delay_extra) seconds *)
+  partitions : partition list;
+  crashes : crash list;
+}
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    delay_prob = 0.0;
+    delay_extra = 0.0;
+    partitions = [];
+    crashes = [];
+  }
+
+let is_none s =
+  s.drop = 0.0 && s.duplicate = 0.0 && s.delay_prob = 0.0
+  && s.partitions = [] && s.crashes = []
+
+let partitioned s ~now ~a ~b =
+  List.exists
+    (fun p ->
+      ((p.pt_a = a && p.pt_b = b) || (p.pt_a = b && p.pt_b = a))
+      && now >= p.pt_from && now < p.pt_until)
+    s.partitions
+
+(* A randomized-but-bounded schedule derived from a seed: mild message
+   chaos everywhere, plus up to two short partitions among [nodes] and
+   up to two short crashes among [crashable] (typically the servers)
+   inside the [horizon]. The bounds keep runs live enough that the
+   committed history is non-trivial — the point is to stress safety,
+   not to blackhole the cluster. *)
+let random ~seed ~nodes ~crashable ~horizon =
+  let rng = Sim.Rng.create (0x5eed + (seed * 2654435761)) in
+  let drop = Sim.Rng.float rng 0.03 in
+  let duplicate = Sim.Rng.float rng 0.05 in
+  let delay_prob = Sim.Rng.float rng 0.2 in
+  let delay_extra = Sim.Rng.float rng 2e-3 in
+  let pick l = List.nth l (Sim.Rng.int rng (List.length l)) in
+  let partitions =
+    if List.length nodes < 2 then []
+    else
+      List.init (Sim.Rng.int rng 3) (fun _ ->
+          let a = pick nodes in
+          let b =
+            let rec go () =
+              let b = pick nodes in
+              if b = a then go () else b
+            in
+            go ()
+          in
+          let from = Sim.Rng.float rng horizon in
+          { pt_a = a; pt_b = b; pt_from = from;
+            pt_until = from +. Sim.Rng.float rng (horizon /. 4.0) })
+  in
+  let crashes =
+    if crashable = [] then []
+    else
+      List.init (Sim.Rng.int rng 3) (fun _ ->
+          { cr_node = pick crashable;
+            cr_at = Sim.Rng.float rng horizon;
+            cr_for = Sim.Rng.float rng (horizon /. 8.0) })
+  in
+  { drop; duplicate; delay_prob; delay_extra; partitions; crashes }
+
+let pp ppf s =
+  if is_none s then Format.fprintf ppf "none"
+  else begin
+    Format.fprintf ppf "drop=%.3f dup=%.3f delay=%.3f(+%.0fus)" s.drop
+      s.duplicate s.delay_prob (s.delay_extra *. 1e6);
+    List.iter
+      (fun p ->
+        Format.fprintf ppf " part(%d<->%d @%.3f..%.3f)" p.pt_a p.pt_b p.pt_from
+          p.pt_until)
+      s.partitions;
+    List.iter
+      (fun c ->
+        Format.fprintf ppf " crash(%d @%.3f for %.3f)" c.cr_node c.cr_at c.cr_for)
+      s.crashes
+  end

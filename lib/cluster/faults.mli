@@ -1,0 +1,49 @@
+(** Per-run fault schedules for the simulated network.
+
+    A {!spec} is pure data interpreted by {!Net}: probabilistic
+    per-message faults (drop, duplication, bounded extra delay) plus
+    explicit time windows for link partitions and node crash/restart.
+    All randomness comes from a dedicated RNG stream, so a given
+    (seed, spec) pair replays exactly, and {!none} leaves the network
+    bit-identical to the fault-free runtime. *)
+
+type partition = {
+  pt_a : int;
+  pt_b : int;  (** link endpoints; both directions are blocked *)
+  pt_from : float;
+  pt_until : float;  (** active during [\[pt_from, pt_until)] *)
+}
+
+type crash = {
+  cr_node : int;
+  cr_at : float;  (** fail-stop instant *)
+  cr_for : float;  (** downtime; the node restarts at [cr_at +. cr_for] *)
+}
+
+type spec = {
+  drop : float;  (** probability a message is silently lost *)
+  duplicate : float;  (** probability a message is delivered twice *)
+  delay_prob : float;  (** probability a message gets extra delay *)
+  delay_extra : float;  (** extra delay is uniform in [\[0, delay_extra)] *)
+  partitions : partition list;
+  crashes : crash list;
+}
+
+val none : spec
+(** No faults at all. [Net] built with [none] behaves exactly like the
+    fault-free network (same RNG consumption, same traces). *)
+
+val is_none : spec -> bool
+
+val partitioned : spec -> now:float -> a:int -> b:int -> bool
+(** Is the link between nodes [a] and [b] cut at time [now]? *)
+
+val random :
+  seed:int -> nodes:int list -> crashable:int list -> horizon:float -> spec
+(** A randomized but bounded schedule derived deterministically from
+    [seed]: mild drop/dup/delay probabilities, up to two partitions
+    between [nodes], and up to two crashes among [crashable], all
+    within [horizon] seconds of simulated time. Pass [~crashable:[]]
+    to disable crashes (e.g. for protocols without failover). *)
+
+val pp : Format.formatter -> spec -> unit

@@ -9,7 +9,14 @@
 
    Handlers run at service completion. Sends made from within a handler
    are charged no extra CPU (send cost can be folded into the message's
-   own cost model). *)
+   own cost model).
+
+   The network optionally interprets a [Faults.spec]: messages can be
+   dropped, duplicated or delayed, links partitioned, and nodes
+   crashed/restarted. All fault randomness comes from a dedicated
+   stream split off after node construction, so the fault-free
+   configuration consumes exactly the same RNG draws as it always has
+   and every historical result is unchanged. *)
 
 open Kernel
 
@@ -35,6 +42,19 @@ type 'msg node = {
   mutable cost : 'msg -> float;
   inbox : (Types.node_id * 'msg) Queue.t;
   mutable busy : bool;
+  mutable up : bool;
+  (* Bumped on every crash; a service completion scheduled before the
+     crash sees a stale epoch and abandons its message. *)
+  mutable epoch : int;
+  mutable down_until : float;
+  mutable on_restart : (unit -> unit) option;
+}
+
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashes : int;
 }
 
 type 'msg t = {
@@ -42,38 +62,148 @@ type 'msg t = {
   net_rng : Sim.Rng.t;
   net_topo : Topology.t;
   latency : Latency.t;
+  faults : Faults.spec;
+  (* Aliases the parent rng at construction and is re-pointed to a
+     private split only when faults are enabled, so the fault-free
+     path never draws from it. *)
+  mutable fault_rng : Sim.Rng.t;
   nodes : 'msg node array;
   mutable messages_sent : int;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+  mutable n_crashes : int;
   mutable busy_time : float array;  (* per-node CPU seconds consumed *)
 }
 
 let rec service t node =
-  if (not node.busy) && not (Queue.is_empty node.inbox) then begin
+  if node.up && (not node.busy) && not (Queue.is_empty node.inbox) then begin
     node.busy <- true;
     let src, msg = Queue.pop node.inbox in
+    let epoch = node.epoch in
     let c = node.cost msg in
     t.busy_time.(node.ctx.self) <- t.busy_time.(node.ctx.self) +. c;
     Sim.Engine.schedule t.net_engine ~delay:c (fun () ->
-        if Sim.Trace.active () then
-          Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
-            (Printf.sprintf "node %d handles message from %d" node.ctx.self src);
-        node.handler ~src msg;
-        node.busy <- false;
-        service t node)
+        if node.epoch = epoch then begin
+          if Sim.Trace.active () then
+            Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
+              (Printf.sprintf "node %d handles message from %d" node.ctx.self
+                 src);
+          node.handler ~src msg;
+          node.busy <- false;
+          service t node
+        end)
   end
 
-let send t ~src ~dst msg =
-  t.messages_sent <- t.messages_sent + 1;
+let deliver t ~src node msg =
+  if node.up then begin
+    Queue.push (src, msg) node.inbox;
+    service t node
+  end
+  else if Sim.Trace.active () then
+    Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"fault"
+      (Printf.sprintf "message %d -> %d lost: node down" src node.ctx.self)
+
+let send_clean t ~src ~dst msg =
   let delay = Latency.sample t.net_rng t.latency ~src ~dst in
   if Sim.Trace.active () then
     Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"send"
       (Printf.sprintf "%d -> %d (arrives +%.0fus)" src dst (delay *. 1e6));
   let node = t.nodes.(dst) in
-  Sim.Engine.schedule t.net_engine ~delay (fun () ->
-      Queue.push (src, msg) node.inbox;
-      service t node)
+  Sim.Engine.schedule t.net_engine ~delay (fun () -> deliver t ~src node msg)
 
-let create engine rng topo ~latency ~clock_of =
+let send_faulty t ~src ~dst msg =
+  let now = Sim.Engine.now t.net_engine in
+  let trace cat fmt = Format.kasprintf (fun s ->
+      if Sim.Trace.active () then Sim.Trace.emit ~time:now ~cat s) fmt
+  in
+  if not t.nodes.(src).up then
+    trace "fault" "send %d -> %d suppressed: sender down" src dst
+  else if Faults.partitioned t.faults ~now ~a:src ~b:dst then begin
+    t.n_dropped <- t.n_dropped + 1;
+    trace "fault" "message %d -> %d lost: link partitioned" src dst
+  end
+  else if Sim.Rng.flip t.fault_rng t.faults.Faults.drop then begin
+    t.n_dropped <- t.n_dropped + 1;
+    trace "fault" "message %d -> %d dropped" src dst
+  end
+  else begin
+    let base = Latency.sample t.net_rng t.latency ~src ~dst in
+    let extra =
+      if Sim.Rng.flip t.fault_rng t.faults.Faults.delay_prob then begin
+        t.n_delayed <- t.n_delayed + 1;
+        Sim.Rng.float t.fault_rng t.faults.Faults.delay_extra
+      end
+      else 0.0
+    in
+    trace "send" "%d -> %d (arrives +%.0fus)" src dst
+      ((base +. extra) *. 1e6);
+    let node = t.nodes.(dst) in
+    Sim.Engine.schedule t.net_engine ~delay:(base +. extra) (fun () ->
+        deliver t ~src node msg);
+    if Sim.Rng.flip t.fault_rng t.faults.Faults.duplicate then begin
+      t.n_duplicated <- t.n_duplicated + 1;
+      let dup_delay = Latency.sample t.net_rng t.latency ~src ~dst in
+      trace "fault" "message %d -> %d duplicated (copy +%.0fus)" src dst
+        (dup_delay *. 1e6);
+      Sim.Engine.schedule t.net_engine ~delay:dup_delay (fun () ->
+          deliver t ~src node msg)
+    end
+  end
+
+let send t ~src ~dst msg =
+  t.messages_sent <- t.messages_sent + 1;
+  if Faults.is_none t.faults then send_clean t ~src ~dst msg
+  else send_faulty t ~src ~dst msg
+
+let crash t id =
+  let node = t.nodes.(id) in
+  if node.up then begin
+    node.up <- false;
+    node.epoch <- node.epoch + 1;
+    Queue.clear node.inbox;
+    node.busy <- false;
+    t.n_crashes <- t.n_crashes + 1;
+    if Sim.Trace.active () then
+      Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"fault"
+        (Printf.sprintf "node %d crashed" id)
+  end
+
+let restart t id =
+  let node = t.nodes.(id) in
+  if not node.up then begin
+    node.up <- true;
+    if Sim.Trace.active () then
+      Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"fault"
+        (Printf.sprintf "node %d restarted" id);
+    (match node.on_restart with Some f -> f () | None -> ());
+    service t node
+  end
+
+let install_crashes t =
+  List.iter
+    (fun c ->
+      let open Faults in
+      if c.cr_node >= 0 && c.cr_node < Array.length t.nodes then begin
+        Sim.Engine.schedule t.net_engine ~delay:c.cr_at (fun () ->
+            let node = t.nodes.(c.cr_node) in
+            let until = c.cr_at +. c.cr_for in
+            if node.up then begin
+              node.down_until <- until;
+              crash t c.cr_node
+            end
+            else if until > node.down_until then node.down_until <- until);
+        Sim.Engine.schedule t.net_engine ~delay:(c.cr_at +. c.cr_for)
+          (fun () ->
+            let node = t.nodes.(c.cr_node) in
+            (* Overlapping crash windows: only the restart matching the
+               latest window end actually brings the node back. *)
+            if Sim.Engine.now t.net_engine >= node.down_until -. 1e-12 then
+              restart t c.cr_node)
+      end)
+    t.faults.Faults.crashes
+
+let create ?(faults = Faults.none) engine rng topo ~latency ~clock_of =
   let n = Topology.n_nodes topo in
   let rec t =
     lazy
@@ -82,6 +212,8 @@ let create engine rng topo ~latency ~clock_of =
         net_rng = Sim.Rng.split rng;
         net_topo = topo;
         latency;
+        faults;
+        fault_rng = rng;
         nodes =
           Array.init n (fun id ->
               let ctx =
@@ -101,12 +233,27 @@ let create engine rng topo ~latency ~clock_of =
                 cost = (fun _ -> 0.0);
                 inbox = Queue.create ();
                 busy = false;
+                up = true;
+                epoch = 0;
+                down_until = 0.0;
+                on_restart = None;
               });
         messages_sent = 0;
+        n_dropped = 0;
+        n_duplicated = 0;
+        n_delayed = 0;
+        n_crashes = 0;
         busy_time = Array.make n 0.0;
       }
   in
-  Lazy.force t
+  let t = Lazy.force t in
+  (* Split the fault stream only when faults are on: the fault-free
+     configuration must consume exactly the historical RNG draws. *)
+  if not (Faults.is_none faults) then begin
+    t.fault_rng <- Sim.Rng.split rng;
+    install_crashes t
+  end;
+  t
 
 let ctx t id = t.nodes.(id).ctx
 
@@ -114,7 +261,19 @@ let set_handler t id ~cost ~handler =
   t.nodes.(id).cost <- cost;
   t.nodes.(id).handler <- handler
 
+let set_on_restart t id f = t.nodes.(id).on_restart <- Some f
+
+let is_up t id = t.nodes.(id).up
+
 let messages_sent t = t.messages_sent
+
+let fault_stats t =
+  {
+    dropped = t.n_dropped;
+    duplicated = t.n_duplicated;
+    delayed = t.n_delayed;
+    crashes = t.n_crashes;
+  }
 
 let busy_time t id = t.busy_time.(id)
 

@@ -1,6 +1,8 @@
 (** Message-passing runtime over the simulator. Each node services its
     inbox with a single CPU: a message costs [cost msg] seconds before
-    its handler runs, which models server saturation and queueing. *)
+    its handler runs, which models server saturation and queueing.
+    A {!Faults.spec} can inject message drop/duplication/delay, link
+    partitions and node crash/restart, all replayable from the seed. *)
 
 open Kernel
 
@@ -23,9 +25,19 @@ val now : 'msg ctx -> float
 
 type 'msg t
 
+type fault_stats = {
+  dropped : int;      (** lost to drop probability or partitions *)
+  duplicated : int;
+  delayed : int;
+  crashes : int;
+}
+
 (** [create engine rng topo ~latency ~clock_of] builds the runtime;
-    [clock_of id] supplies each node's (possibly skewed) clock. *)
+    [clock_of id] supplies each node's (possibly skewed) clock.
+    [faults] defaults to {!Faults.none}, in which case the network is
+    byte-identical (RNG draws included) to the fault-free runtime. *)
 val create :
+  ?faults:Faults.spec ->
   Sim.Engine.t -> Sim.Rng.t -> Topology.t ->
   latency:Latency.t -> clock_of:(Types.node_id -> Sim.Clock.t) -> 'msg t
 
@@ -35,9 +47,18 @@ val set_handler :
   'msg t -> Types.node_id ->
   cost:('msg -> float) -> handler:(src:Types.node_id -> 'msg -> unit) -> unit
 
+(** Hook run when a crashed node restarts. Protocol state is durable
+    across crashes (the paper models servers as replicated state
+    machines); hosts wanting amnesia reset themselves here. *)
+val set_on_restart : 'msg t -> Types.node_id -> (unit -> unit) -> unit
+
+val is_up : 'msg t -> Types.node_id -> bool
+
 val send : 'msg t -> src:Types.node_id -> dst:Types.node_id -> 'msg -> unit
 
 val messages_sent : 'msg t -> int
+
+val fault_stats : 'msg t -> fault_stats
 
 (** CPU seconds consumed by a node so far. *)
 val busy_time : 'msg t -> Types.node_id -> float

@@ -41,6 +41,18 @@ module type S = sig
      transactions simply by submitting them again. *)
   val submit : client -> Txn.t -> unit
 
+  (* Abandon the in-flight attempt of [txn] (the harness's request
+     timeout fired): tear down coordinator state, tell the servers to
+     release whatever the attempt holds, and report
+     [Aborted Timed_out] for the attempt — synchronously, so the
+     harness can schedule the retry. If nothing is in flight for
+     [txn] (e.g. the submit raced the cancel), still report the
+     timeout outcome. Return [`Keep_waiting] only when the attempt is
+     past its point of no return (e.g. a commit phase that must be
+     re-driven, not abandoned); the client then retransmits and the
+     harness re-arms the timeout instead of retrying. *)
+  val cancel : client -> Txn.t -> [ `Cancelled | `Keep_waiting ]
+
   val client_counters : client -> (string * float) list
 
   (* Replica-node actor, for replicated protocols (the topology's

@@ -33,6 +33,8 @@ type config = {
   check : check_level;
   series_width : float option;  (* commit-rate time series bucket width *)
   replicas_per_server : int;    (* replica nodes per server (replicated protocols) *)
+  request_timeout : float option;  (* per-attempt client timeout (None = never) *)
+  faults : Cluster.Faults.spec;    (* injected network/node faults *)
 }
 
 let default =
@@ -54,6 +56,8 @@ let default =
     check = No_check;
     series_width = None;
     replicas_per_server = 0;
+    request_timeout = None;
+    faults = Cluster.Faults.none;
   }
 
 type result = {
@@ -115,7 +119,8 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
   let lat_rng = Sim.Rng.split rng in
   let latency = latency_model lat_rng topo cfg.latency in
   let net =
-    Cluster.Net.create engine (Sim.Rng.split rng) topo ~latency
+    Cluster.Net.create ~faults:cfg.faults engine (Sim.Rng.split rng) topo
+      ~latency
       ~clock_of:(fun id -> clocks.(id))
   in
   let window_start = cfg.warmup in
@@ -160,10 +165,29 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
          which resubmits through the client *)
       let client_ref = ref None in
       let client () = Option.get !client_ref in
+      (* Request timeout: if the attempt armed when the timer was set
+         is still the one in flight when it fires, cancel it through
+         the protocol (which reports [Aborted Timed_out], feeding the
+         normal retry path). [`Keep_waiting] means the protocol is
+         re-driving a commit phase; re-arm and keep waiting. *)
+      let rec arm_timeout p =
+        match cfg.request_timeout with
+        | None -> ()
+        | Some d ->
+          let marker = p.p_attempts in
+          Sim.Engine.schedule engine ~delay:d (fun () ->
+              match Hashtbl.find_opt inflight p.p_txn.Txn.id with
+              | Some p' when p' == p && p.p_attempts = marker -> (
+                match P.cancel (client ()) p.p_txn with
+                | `Cancelled -> ()
+                | `Keep_waiting -> arm_timeout p)
+              | _ -> ())
+      in
       let resubmit p =
         p.p_attempt_start <- Sim.Engine.now engine;
         incr attempts;
-        P.submit (client ()) p.p_txn
+        P.submit (client ()) p.p_txn;
+        arm_timeout p
       in
       let report (o : Outcome.t) =
         match Hashtbl.find_opt inflight o.txn.Txn.id with
@@ -218,7 +242,8 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
             in
             Hashtbl.replace inflight txn.Txn.id p;
             incr attempts;
-            P.submit cl txn
+            P.submit cl txn;
+            arm_timeout p
           end
           else if in_window now then incr dropped;
           Sim.Engine.schedule engine
@@ -257,6 +282,16 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
   in
   List.iter (fun srv -> add_counters (P.server_counters srv)) servers;
   List.iter (fun cl -> add_counters (P.client_counters cl)) !all_clients;
+  if not (Cluster.Faults.is_none cfg.faults) then begin
+    let fs = Cluster.Net.fault_stats net in
+    add_counters
+      [
+        ("net.dropped", float_of_int fs.Cluster.Net.dropped);
+        ("net.duplicated", float_of_int fs.Cluster.Net.duplicated);
+        ("net.delayed", float_of_int fs.Cluster.Net.delayed);
+        ("net.crashes", float_of_int fs.Cluster.Net.crashes);
+      ]
+  end;
   let msgs = Cluster.Net.messages_sent net in
   {
     protocol = (if label = "" then P.name else label);

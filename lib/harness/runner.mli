@@ -31,6 +31,11 @@ type config = {
   series_width : float option;
   replicas_per_server : int;
       (** replica nodes per server, for replicated protocols (default 0) *)
+  request_timeout : float option;
+      (** per-attempt client timeout; the attempt is cancelled and
+          retried when it fires (default [None] = wait forever) *)
+  faults : Cluster.Faults.spec;
+      (** injected network/node faults (default {!Cluster.Faults.none}) *)
 }
 
 val default : config

@@ -12,6 +12,7 @@ and abort_reason =
   | Lock_unavailable      (* 2PL no-wait / write-lock conflict *)
   | Wounded               (* 2PL wound-wait victim *)
   | Ts_order_violation    (* MVTO write rejected by a later read *)
+  | Timed_out             (* client-side request timeout; retried by harness *)
   | Other of string
 
 type t = {
@@ -37,6 +38,7 @@ let reason_to_string = function
   | Lock_unavailable -> "lock"
   | Wounded -> "wounded"
   | Ts_order_violation -> "ts-order"
+  | Timed_out -> "timeout"
   | Other s -> s
 
 let pp ppf t =

@@ -12,6 +12,7 @@ and abort_reason =
   | Lock_unavailable
   | Wounded
   | Ts_order_violation
+  | Timed_out
   | Other of string
 
 type t = {

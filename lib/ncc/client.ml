@@ -26,12 +26,15 @@ type inflight = {
   mutable f_dynamic : Txn.continuation option;  (* interactive phase *)
   mutable f_final : bool;  (* the shot in flight is the last one *)
   mutable f_awaiting : int;
+  mutable f_round : int;  (* current shot number; stamps Exec messages *)
+  mutable f_replied : Types.node_id list;  (* servers heard this round *)
   mutable f_results : Msg.op_result list;  (* newest first *)
   mutable f_flag : [ `Ok | `Early | `Ro ];
   mutable f_participants : Types.node_id list;
   f_sent_ops : (Types.node_id, int) Hashtbl.t;  (* cumulative ops per server *)
   mutable f_contacted : Types.node_id list;
   mutable f_sr_awaiting : int;
+  mutable f_sr_replied : Types.node_id list;
   mutable f_sr_ok : bool;
   mutable f_sr_ts : Ts.t;
 }
@@ -151,6 +154,8 @@ let finish_abort t f reason =
 let send_shot t f shot =
   let by_server = Cluster.Topology.ops_by_server t.ctx.topo shot in
   f.f_awaiting <- List.length by_server;
+  f.f_round <- f.f_round + 1;
+  f.f_replied <- [];
   let backup =
     (* first participant overall; an all-dynamic transaction has no
        static participants, so fall back to this shot's first server *)
@@ -173,6 +178,7 @@ let send_shot t f shot =
         (Msg.Exec
            {
              x_wire = f.f_wire;
+             x_round = f.f_round;
              x_ops = ops;
              x_ts = f.f_ts;
              x_ro = f.f_is_ro;
@@ -194,6 +200,7 @@ let start_smart_retry t f ~ts =
   f.f_phase <- Retrying;
   f.f_sr_ts <- ts;
   f.f_sr_awaiting <- List.length f.f_contacted;
+  f.f_sr_replied <- [];
   f.f_sr_ok <- true;
   List.iter
     (fun s -> t.ctx.send ~dst:s (Msg.Retry { sr_wire = f.f_wire; sr_ts = ts }))
@@ -282,12 +289,15 @@ let submit t txn =
       f_dynamic = txn.Txn.dynamic;
       f_final = false;
       f_awaiting = 0;
+      f_round = 0;
+      f_replied = [];
       f_results = [];
       f_flag = `Ok;
       f_participants = participants;
       f_sent_ops = Hashtbl.create 4;
       f_contacted = [];
       f_sr_awaiting = 0;
+      f_sr_replied = [];
       f_sr_ok = true;
       f_sr_ts = Ts.zero;
     }
@@ -306,7 +316,10 @@ let handle_exec_reply t (r : Msg.exec_reply) =
   match Hashtbl.find_opt t.inflight r.e_wire with
   | None -> ()
   | Some f when f.f_phase <> Executing -> ()
+  | Some f when r.e_round <> f.f_round || List.mem r.e_server f.f_replied ->
+    () (* stale round, or a duplicate delivery of this round's reply *)
   | Some f ->
+    f.f_replied <- r.e_server :: f.f_replied;
     (match r.e_flag with
      | Msg.Ok -> f.f_results <- List.rev_append r.e_results f.f_results
      | Msg.Early_abort -> f.f_flag <- `Early
@@ -314,11 +327,13 @@ let handle_exec_reply t (r : Msg.exec_reply) =
     f.f_awaiting <- f.f_awaiting - 1;
     if f.f_awaiting = 0 then shot_complete t f
 
-let handle_retry_reply t ~wire ~ok =
+let handle_retry_reply t ~wire ~server ~ok =
   match Hashtbl.find_opt t.inflight wire with
   | None -> ()
   | Some f when f.f_phase <> Retrying -> ()
+  | Some f when List.mem server f.f_sr_replied -> () (* duplicate delivery *)
   | Some f ->
+    f.f_sr_replied <- server :: f.f_sr_replied;
     if not ok then f.f_sr_ok <- false;
     f.f_sr_awaiting <- f.f_sr_awaiting - 1;
     if f.f_sr_awaiting = 0 then
@@ -331,10 +346,31 @@ let handle_retry_reply t ~wire ~ok =
         finish_abort t f Outcome.Safeguard_reject
       end
 
+(* Request timeout from the harness: abandon the in-flight attempt.
+   [finish_abort] sends abort Decides to every contacted server, which
+   releases responses withheld behind this transaction's writes and
+   discards its pending versions; the retried attempt runs under a
+   fresh wire id, so nothing from this attempt can be mistaken for it. *)
+let cancel t txn =
+  let f =
+    match Hashtbl.find_opt t.attempts txn.Txn.id with
+    | None -> None
+    | Some attempt ->
+      Hashtbl.find_opt t.inflight (Msg.wire_id ~txn_id:txn.Txn.id ~attempt)
+  in
+  (match f with
+   | Some f -> finish_abort t f Outcome.Timed_out
+   | None ->
+     (* nothing in flight (a completion raced this timeout): report the
+        timeout anyway so the harness's attempt bookkeeping stays sound *)
+     t.report (Outcome.aborted ~reason:Outcome.Timed_out txn));
+  `Cancelled
+
 let handle t ~src:_ msg =
   match msg with
   | Msg.Exec_reply r -> handle_exec_reply t r
-  | Msg.Retry_reply { sr_wire; sr_ok; _ } -> handle_retry_reply t ~wire:sr_wire ~ok:sr_ok
+  | Msg.Retry_reply { sr_wire; sr_server; sr_ok } ->
+    handle_retry_reply t ~wire:sr_wire ~server:sr_server ~ok:sr_ok
   | Msg.Exec _ | Msg.Decide _ | Msg.Retry _ | Msg.Recover_nudge _ | Msg.Recover_query _
   | Msg.Recover_info _ ->
     () (* server-bound; not for clients *)

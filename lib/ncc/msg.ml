@@ -109,6 +109,9 @@ let safeguard results =
 
 type exec = {
   x_wire : int;
+  x_round : int;           (* shot number within the attempt: the client
+                              ignores replies to any other round, which
+                              makes duplicate delivery harmless *)
   x_ops : Types.op list;   (* this server's operations for this shot *)
   x_ts : Ts.t;             (* pre-assigned transaction timestamp *)
   x_ro : bool;             (* use the read-only fast path *)
@@ -123,6 +126,7 @@ type exec = {
 
 type exec_reply = {
   e_wire : int;
+  e_round : int;           (* echo of x_round *)
   e_server : Types.node_id;
   e_results : op_result list;
   e_server_ns : int;       (* server clock at execution *)

@@ -26,6 +26,7 @@ let make_protocol ?(config = Msg.default_config) ?(name = "NCC") () : Harness.Pr
     let make_client ctx ~report = Client.create config ctx ~report
     let client_handle = Client.handle
     let submit = Client.submit
+    let cancel = Client.cancel
     let client_counters = Client.counters
 
     include Harness.Protocol.No_replicas

@@ -43,6 +43,7 @@ type item = {
 
 and reply_builder = {
   rb_wire : int;
+  rb_round : int;  (* echo of x_round, for client-side reply dedup *)
   rb_client : Types.node_id;
   rb_created : float;
   rb_results : Msg.op_result option array;
@@ -176,6 +177,7 @@ let dispatch_reply t rb =
     (Msg.Exec_reply
        {
          e_wire = rb.rb_wire;
+         e_round = rb.rb_round;
          e_server = t.ctx.self;
          e_results = results;
          e_server_ns = rb.rb_server_ns;
@@ -184,11 +186,12 @@ let dispatch_reply t rb =
          e_flag = Msg.Ok;
        })
 
-let special_reply t ~wire ~client ~client_ns flag =
+let special_reply t ~wire ~round ~client ~client_ns flag =
   t.ctx.send ~dst:client
     (Msg.Exec_reply
        {
          e_wire = wire;
+         e_round = round;
          e_server = t.ctx.self;
          e_results = [];
          e_server_ns = Cluster.Net.local_ns t.ctx;
@@ -271,8 +274,9 @@ let fix_read t it =
     t.n_early_aborts <- t.n_early_aborts + 1;
     it.it_sent <- true;
     it.it_rb.rb_dead <- true;
-    special_reply t ~wire:it.it_wire ~client:it.it_rb.rb_client
-      ~client_ns:it.it_rb.rb_client_ns Msg.Early_abort
+    special_reply t ~wire:it.it_wire ~round:it.it_rb.rb_round
+      ~client:it.it_rb.rb_client ~client_ns:it.it_rb.rb_client_ns
+      Msg.Early_abort
   end
   else begin
     let ver = Store.read t.store it.it_key ~ts:it.it_ts in
@@ -360,7 +364,8 @@ let exec_read_only t ~src (x : Msg.exec) =
   in
   if stale_server || List.exists unsafe x.x_ops then begin
     t.n_ro_aborts <- t.n_ro_aborts + 1;
-    special_reply t ~wire:x.x_wire ~client:src ~client_ns:x.x_client_ns Msg.Ro_abort
+    special_reply t ~wire:x.x_wire ~round:x.x_round ~client:src
+      ~client_ns:x.x_client_ns Msg.Ro_abort
   end
   else begin
     t.n_ro_served <- t.n_ro_served + 1;
@@ -386,6 +391,7 @@ let exec_read_only t ~src (x : Msg.exec) =
       (Msg.Exec_reply
          {
            e_wire = x.x_wire;
+           e_round = x.x_round;
            e_server = t.ctx.self;
            e_results = results;
            e_server_ns = Cluster.Net.local_ns t.ctx;
@@ -442,9 +448,17 @@ let find_or_create_txn t ~src (x : Msg.exec) =
 let exec_read_write t ~src (x : Msg.exec) =
   if Hashtbl.mem t.decided x.x_wire then
     (* a late shot of an already-decided (recovered/aborted) attempt *)
-    special_reply t ~wire:x.x_wire ~client:src ~client_ns:x.x_client_ns Msg.Early_abort
+    special_reply t ~wire:x.x_wire ~round:x.x_round ~client:src
+      ~client_ns:x.x_client_ns Msg.Early_abort
   else begin
     let rec_ = find_or_create_txn t ~src x in
+    if rec_.tr_received > 0 && x.x_expected_ops <= rec_.tr_received then
+      (* Duplicate delivery of a shot this server already executed
+         ([x_expected_ops] is the cumulative op count through this
+         shot): executing again would install fresh versions. Drop it;
+         the reply it duplicates is deduplicated client-side by round. *)
+      ()
+    else begin
     rec_.tr_received <- rec_.tr_received + List.length x.x_ops;
     rec_.tr_expected <- max rec_.tr_expected x.x_expected_ops;
     if x.x_is_last then rec_.tr_saw_last <- true;
@@ -457,13 +471,15 @@ let exec_read_write t ~src (x : Msg.exec) =
     in
     if t.cfg.early_abort && List.exists late_and_blocked x.x_ops then begin
       t.n_early_aborts <- t.n_early_aborts + 1;
-      special_reply t ~wire:x.x_wire ~client:src ~client_ns:x.x_client_ns Msg.Early_abort
+      special_reply t ~wire:x.x_wire ~round:x.x_round ~client:src
+        ~client_ns:x.x_client_ns Msg.Early_abort
     end
     else begin
       let n = List.length x.x_ops in
       let rb =
         {
           rb_wire = x.x_wire;
+          rb_round = x.x_round;
           rb_client = src;
           rb_created = Cluster.Net.now t.ctx;
           rb_results = Array.make n None;
@@ -554,6 +570,7 @@ let exec_read_write t ~src (x : Msg.exec) =
           rec_.tr_accesses <- it :: rec_.tr_accesses;
           if sendable t it then release t it else add_pending t it)
         x.x_ops
+    end
     end
   end
 
@@ -660,6 +677,9 @@ let answer_recover_query t ~src ~wire =
 let handle_recover_info t ~wire (info : rinfo) =
   match Hashtbl.find_opt t.recovering wire with
   | None -> ()
+  | Some st when List.exists (fun i -> i.rf_server = info.rf_server) st.rc_infos
+    ->
+    () (* duplicate delivery of a cohort's answer *)
   | Some st ->
     st.rc_infos <- info :: st.rc_infos;
     st.rc_waiting <- st.rc_waiting - 1;

@@ -235,6 +235,7 @@ let make_protocol ?(config = Ncc.Msg.default_config) ?(mode = Every_request)
       match msg with App m -> Ncc.Client.handle cl ~src m | Raft _ -> ()
 
     let submit = Ncc.Client.submit
+    let cancel = Ncc.Client.cancel
     let client_counters = Ncc.Client.counters
 
     type nonrec replica = replica

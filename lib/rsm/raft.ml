@@ -48,7 +48,7 @@ type 'cmd t = {
   mutable role : role;
   mutable commit_index : int;  (* highest committed log index; 0 = none *)
   mutable last_applied : int;
-  mutable votes : int;
+  mutable voters : Kernel.Types.node_id list;  (* who granted us this term *)
   mutable last_heard : float;  (* local notion of time, advanced per tick *)
   mutable clock : float;
   mutable ticks : int;
@@ -171,7 +171,7 @@ let start_election t =
   t.role <- Candidate;
   t.term <- t.term + 1;
   t.voted_for <- Some t.self;
-  t.votes <- 1;
+  t.voters <- [ t.self ];
   t.last_heard <- t.clock;
   if t.peers = [] then become_leader t
   else
@@ -205,12 +205,15 @@ let handle_request_vote t ~src ~rv_term ~rv_last_index ~rv_last_term =
   end;
   t.send ~dst:src (Vote { v_term = t.term; v_granted = granted })
 
-let handle_vote t ~v_term ~v_granted =
+let handle_vote t ~src ~v_term ~v_granted =
   if v_term > t.term then become_follower t v_term
-  else if t.role = Candidate && v_term = t.term && v_granted then begin
-    t.votes <- t.votes + 1;
+  else if
+    t.role = Candidate && v_term = t.term && v_granted
+    && not (List.mem src t.voters)  (* a duplicated Vote is one vote *)
+  then begin
+    t.voters <- src :: t.voters;
     let majority = ((List.length t.peers + 1) / 2) + 1 in
-    if t.votes >= majority then become_leader t
+    if List.length t.voters >= majority then become_leader t
   end
 
 let handle_append t ~src ~ae_term ~ae_prev_index ~ae_prev_term ~ae_entries ~ae_commit =
@@ -269,7 +272,7 @@ let handle t ~src msg =
     match msg with
     | Request_vote { rv_term; rv_last_index; rv_last_term } ->
       handle_request_vote t ~src ~rv_term ~rv_last_index ~rv_last_term
-    | Vote { v_term; v_granted } -> handle_vote t ~v_term ~v_granted
+    | Vote { v_term; v_granted } -> handle_vote t ~src ~v_term ~v_granted
     | Append_entries { ae_term; ae_prev_index; ae_prev_term; ae_entries; ae_commit } ->
       handle_append t ~src ~ae_term ~ae_prev_index ~ae_prev_term ~ae_entries ~ae_commit
     | Append_reply { ar_term; ar_ok; ar_match } ->
@@ -318,7 +321,7 @@ let create ?(election_timeout = 5e-3) ?(heartbeat_every = 1e-3) ~self ~peers ~se
       role = Follower;
       commit_index = 0;
       last_applied = 0;
-      votes = 0;
+      voters = [];
       last_heard = 0.0;
       clock = 0.0;
       ticks = 0;

@@ -15,9 +15,16 @@ type state = {
   mutable next : int;   (* next write position *)
   mutable count : int;  (* total events ever emitted *)
   mutable on : bool;
+  (* Rolling MD5 over every emitted event, independent of the ring:
+     two runs with equal digests produced identical full traces, which
+     is how chaos replay proves determinism without storing traces. *)
+  mutable digest_on : bool;
+  mutable digest : string;
 }
 
-let st = { buf = [||]; next = 0; count = 0; on = false }
+let st =
+  { buf = [||]; next = 0; count = 0; on = false; digest_on = false;
+    digest = "" }
 
 let enable ?(capacity = 4096) () =
   st.buf <- Array.make capacity { ev_time = 0.0; ev_cat = ""; ev_msg = "" };
@@ -27,9 +34,21 @@ let enable ?(capacity = 4096) () =
 
 let disable () = st.on <- false
 
-let active () = st.on
+let enable_digest () =
+  st.digest_on <- true;
+  st.digest <- Digest.string ""
+
+let disable_digest () = st.digest_on <- false
+
+let digest () = Digest.to_hex st.digest
+
+let active () = st.on || st.digest_on
 
 let emit ~time ~cat msg =
+  if st.digest_on then
+    st.digest <-
+      Digest.string
+        (st.digest ^ Printf.sprintf "%.9f|%s|%s" time cat msg);
   if st.on && Array.length st.buf > 0 then begin
     st.buf.(st.next) <- { ev_time = time; ev_cat = cat; ev_msg = msg };
     st.next <- (st.next + 1) mod Array.length st.buf;

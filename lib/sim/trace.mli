@@ -7,6 +7,17 @@ type event = { ev_time : float; ev_cat : string; ev_msg : string }
 
 val enable : ?capacity:int -> unit -> unit
 val disable : unit -> unit
+
+(** Fold every emitted event into a rolling digest (without needing the
+    ring). Equal digests across two runs mean identical full traces —
+    the determinism oracle used by chaos-seed replay. *)
+val enable_digest : unit -> unit
+
+val disable_digest : unit -> unit
+
+(** Hex digest of everything emitted since [enable_digest]. *)
+val digest : unit -> string
+
 val active : unit -> bool
 val emit : time:float -> cat:string -> string -> unit
 

@@ -41,7 +41,8 @@ let docc_prepare_ok (s : Docc.server) sent =
 let docc_validation_detects_stale_read () =
   let s, sent = docc_rig () in
   (* wire 1 reads key 0, wire 2 writes and commits it, wire 1 prepares *)
-  Docc.server_handle s ~src:2 (Docc.Exec { x_wire = 1; x_keys = [ 0 ]; x_bytes = 0 });
+  Docc.server_handle s ~src:2
+    (Docc.Exec { x_wire = 1; x_round = 1; x_keys = [ 0 ]; x_bytes = 0 });
   let vid =
     match !sent with
     | [ (_, Docc.Exec_reply { e_results = [ r ]; _ }) ] -> r.Baselines.Common.b_vid
@@ -99,12 +100,19 @@ let d2pl_rig variant =
 let acquire s ~src ~wire ~t ops =
   D2pl.server_handle s ~src
     (D2pl.Acquire
-       { a_wire = wire; a_ts = ts t src; a_ops = ops; a_exclusive = false; a_bytes = 0 })
+       {
+         a_wire = wire;
+         a_round = 1;
+         a_ts = ts t src;
+         a_ops = ops;
+         a_exclusive = false;
+         a_bytes = 0;
+       })
 
 let d2pl_replies sent =
   List.filter_map
     (fun (_, m) ->
-      match m with D2pl.Acquire_reply { a_wire; a_ok; _ } -> Some (a_wire, a_ok) | _ -> None)
+      match m with D2pl.Acquire_reply { r_wire; r_ok; _ } -> Some (r_wire, r_ok) | _ -> None)
     !sent
 
 let no_wait_aborts_on_conflict () =
@@ -166,7 +174,7 @@ let tapir_rig () =
 
 let tapir_prepare s ~src ~wire ~t ops =
   Tapir.server_handle s ~src
-    (Tapir.Prepare { p_wire = wire; p_ts = ts t src; p_ops = ops; p_bytes = 0 })
+    (Tapir.Prepare { p_wire = wire; p_round = 1; p_ts = ts t src; p_ops = ops; p_bytes = 0 })
 
 let tapir_oks sent =
   List.filter_map
@@ -202,13 +210,14 @@ let mvto_rig () =
   (Mvto.make_server ctx, sent)
 
 let mvto_exec s ~src ~wire ~t ops =
-  Mvto.server_handle s ~src (Mvto.Exec { x_wire = wire; x_ts = ts t src; x_ops = ops; x_bytes = 0 })
+  Mvto.server_handle s ~src
+    (Mvto.Exec { x_wire = wire; x_round = 1; x_ts = ts t src; x_ops = ops; x_bytes = 0 })
 
 let mvto_replies sent =
   List.filter_map
     (fun (_, m) ->
       match m with
-      | Mvto.Exec_reply { e_wire; e_ok; e_results } -> Some (e_wire, e_ok, e_results)
+      | Mvto.Exec_reply { e_wire; e_ok; e_results; _ } -> Some (e_wire, e_ok, e_results)
       | _ -> None)
     !sent
 
@@ -267,7 +276,7 @@ let tr_deps sent wire =
   List.find_map
     (fun (_, m) ->
       match m with
-      | Tr.Preaccept_reply { pa_wire; pa_deps } when pa_wire = wire -> Some pa_deps
+      | Tr.Preaccept_reply { pa_wire; pa_deps; _ } when pa_wire = wire -> Some pa_deps
       | _ -> None)
     !sent
 
@@ -281,19 +290,19 @@ let tr_results sent wire =
 
 let janus_tracks_dependencies () =
   let s, sent = tr_rig () in
-  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_ops = [ Types.Write (0, 1) ]; pa_bytes = 0 });
-  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_round = 1; pa_ops = [ Types.Write (0, 1) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_round = 1; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
   Alcotest.(check (option (list int))) "first has no deps" (Some []) (tr_deps sent 1);
   Alcotest.(check (option (list int))) "second depends on first" (Some [ 1 ])
     (tr_deps sent 2);
   (* reads do not depend on reads *)
-  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 3; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 3; pa_round = 1; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
   Alcotest.(check (option (list int))) "read-read no dep" (Some [ 1 ]) (tr_deps sent 3)
 
 let janus_executes_in_dependency_order () =
   let s, sent = tr_rig () in
-  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_ops = [ Types.Write (0, 10) ]; pa_bytes = 0 });
-  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 1; pa_round = 1; pa_ops = [ Types.Write (0, 10) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 2; pa_round = 1; pa_ops = [ Types.Read 0 ]; pa_bytes = 0 });
   (* commit arrives for the dependent first: it must wait *)
   Tr.server_handle s ~src:3 (Tr.Commit { c_wire = 2; c_deps = [ 1 ] });
   Alcotest.(check (option (list Alcotest.reject))) "dependent waits" None
@@ -307,8 +316,8 @@ let janus_executes_in_dependency_order () =
 
 let janus_breaks_mutual_cycle_by_id () =
   let s, sent = tr_rig () in
-  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 7; pa_ops = [ Types.Write (0, 70) ]; pa_bytes = 0 });
-  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 9; pa_ops = [ Types.Write (0, 90) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:2 (Tr.Preaccept { pa_wire = 7; pa_round = 1; pa_ops = [ Types.Write (0, 70) ]; pa_bytes = 0 });
+  Tr.server_handle s ~src:3 (Tr.Preaccept { pa_wire = 9; pa_round = 1; pa_ops = [ Types.Write (0, 90) ]; pa_bytes = 0 });
   (* mutual dependency (as if discovered on two different servers) *)
   Tr.server_handle s ~src:3 (Tr.Commit { c_wire = 9; c_deps = [ 7 ] });
   Alcotest.(check bool) "9 waits for 7" true (tr_results sent 9 = None);

@@ -111,6 +111,102 @@ let disjoint_keys_any_order =
         spans;
       Rsg.check t ~strict:true = Rsg.Ok)
 
+(* --- randomized histories with planted violations ------------------- *)
+
+(* Execute a random op script serially over keys 0..2: txn i occupies
+   the disjoint interval [2i, 2i+1], reads observe the latest committed
+   version, writes install fresh vids. Returns the checker with the
+   per-key version orders still unrecorded so properties can tamper
+   with them before [finalize]. *)
+let serial_history specs =
+  let t = Rsg.create () in
+  let next = ref 1000 in
+  let latest = Array.init 3 (fun k -> k * 100) in
+  let orders = Array.make 3 [] in
+  List.iteri
+    (fun i ops ->
+      let reads = ref [] and writes = ref [] in
+      List.iter
+        (fun (is_write, k) ->
+          if is_write then begin
+            incr next;
+            latest.(k) <- !next;
+            orders.(k) <- !next :: orders.(k);
+            writes := (k, !next) :: !writes
+          end
+          else reads := (k, latest.(k)) :: !reads)
+        ops;
+      Rsg.record_commit t ~txn:(i + 1)
+        ~start:(float_of_int (2 * i))
+        ~finish:(float_of_int ((2 * i) + 1))
+        ~reads:!reads ~writes:!writes)
+    specs;
+  (t, orders, List.length specs)
+
+let finalize t orders =
+  Array.iteri (fun k o -> Rsg.record_version_order t k ((k * 100) :: List.rev o)) orders
+
+let script_gen =
+  QCheck.(
+    list_of_size Gen.(1 -- 8)
+      (list_of_size Gen.(1 -- 4) (pair bool (0 -- 2))))
+
+let serial_always_strict_ok =
+  QCheck.Test.make ~name:"random serial histories are strictly serializable"
+    ~count:200 script_gen (fun specs ->
+      let t, orders, _ = serial_history specs in
+      finalize t orders;
+      Rsg.check t ~strict:true = Rsg.Ok)
+
+(* Two disjoint-in-time writers of one key whose installed order is
+   inverted: serializable (no execution cycle) but a strict violation,
+   regardless of what disjoint filler transactions surround them. *)
+let planted_inversion_caught =
+  QCheck.Test.make ~name:"planted real-time inversion: strict catches, plain accepts"
+    ~count:200
+    QCheck.(pair (0 -- 6) (1 -- 10))
+    (fun (n_fillers, gap) ->
+      let t = Rsg.create () in
+      for i = 1 to n_fillers do
+        let key = 1000 + i in
+        Rsg.record_commit t ~txn:(100 + i)
+          ~start:(float_of_int (10 * i))
+          ~finish:(float_of_int ((10 * i) + 1))
+          ~reads:[] ~writes:[ (key, (10 * key) + 1) ];
+        Rsg.record_version_order t key [ 10 * key; (10 * key) + 1 ]
+      done;
+      Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[] ~writes:[ (0, 11) ];
+      Rsg.record_commit t ~txn:2
+        ~start:(float_of_int (2 + gap))
+        ~finish:(float_of_int (3 + gap))
+        ~reads:[] ~writes:[ (0, 12) ];
+      Rsg.record_version_order t 0 [ 10; 12; 11 ];  (* inverted *)
+      Rsg.check t ~strict:true <> Rsg.Ok && Rsg.check t ~strict:false = Rsg.Ok)
+
+let planted_dirty_read_caught =
+  QCheck.Test.make ~name:"planted dirty read is caught" ~count:200 script_gen
+    (fun specs ->
+      let t, orders, n = serial_history specs in
+      finalize t orders;
+      (* a read of a version no server ever committed *)
+      Rsg.record_commit t ~txn:(n + 1) ~start:1e6 ~finish:(1e6 +. 1.0)
+        ~reads:[ (0, 99999) ] ~writes:[];
+      Rsg.check t ~strict:false <> Rsg.Ok)
+
+let planted_wr_cycle_caught =
+  QCheck.Test.make ~name:"planted wr-wr cycle is caught" ~count:200 script_gen
+    (fun specs ->
+      let t, orders, n = serial_history specs in
+      (* two overlapping transactions that each read the other's write *)
+      orders.(0) <- 99990 :: orders.(0);
+      orders.(1) <- 99991 :: orders.(1);
+      Rsg.record_commit t ~txn:(n + 1) ~start:1e6 ~finish:(1e6 +. 10.0)
+        ~reads:[ (1, 99991) ] ~writes:[ (0, 99990) ];
+      Rsg.record_commit t ~txn:(n + 2) ~start:1e6 ~finish:(1e6 +. 10.0)
+        ~reads:[ (0, 99990) ] ~writes:[ (1, 99991) ];
+      finalize t orders;
+      Rsg.check t ~strict:false <> Rsg.Ok)
+
 let suite =
   [
     Alcotest.test_case "accepts simple wr" `Quick accepts_simple_wr;
@@ -121,4 +217,11 @@ let suite =
     Alcotest.test_case "rejects dirty read" `Quick rejects_dirty_read;
     Alcotest.test_case "accepts long serial history" `Quick accepts_long_serial_history;
   ]
-  @ [ QCheck_alcotest.to_alcotest disjoint_keys_any_order ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        disjoint_keys_any_order;
+        serial_always_strict_ok;
+        planted_inversion_caught;
+        planted_dirty_read_caught;
+        planted_wr_cycle_caught;
+      ]

@@ -1,24 +1,35 @@
 (* Small-scope exhaustive safety: instead of sampling schedules with
-   random jitter, enumerate *every* assignment of message delays from a
-   small set for a two-transaction conflict scenario, and require every
-   single execution to be strictly serializable.
+   random jitter, enumerate *every* assignment of per-message fates
+   from a small set for a two-transaction conflict scenario, and
+   require every single execution to be strictly serializable.
 
    With two clients issuing one-shot transactions over two keys on two
-   servers, the per-message delay choices below generate all the
-   arrival/response interleavings that matter (request overtaking,
-   response reordering, decide-vs-exec races). This is the kind of
-   coverage random testing only reaches eventually. *)
+   servers, the per-message choices below — two delays, a drop and a
+   duplication — generate all the arrival/response interleavings that
+   matter (request overtaking, response reordering, decide-vs-exec
+   races, loss-triggered timeout retries, duplicate delivery). This is
+   the kind of coverage random testing only reaches eventually. *)
 
 open Kernel
 
-(* A deterministic rig: the k-th message sent system-wide gets the
-   delay chosen for position k in the schedule vector. *)
-let run_schedule ~cfg ~txns (delays : float array) =
+(* What happens to the k-th message sent system-wide. *)
+type fate = Delay of float | Drop | Dup
+
+let choices = [ Delay 5e-5; Delay 4e-4; Drop; Dup ]
+let late_delay = 1e-4 (* positions beyond the schedule vector *)
+let dup_delay = 2.5e-4 (* second delivery of a duplicated message *)
+let max_attempts = 3
+let attempt_timeout = 0.02
+
+(* A deterministic rig: the k-th message sent system-wide gets the fate
+   chosen for position k in the schedule vector. Every node speaks
+   [Ncc.Msg.msg], so the dispatch table is plainly typed. *)
+let run_schedule ~cfg ~txns (fates : fate array) =
   Txn.reset_ids ();
   Mvstore.Store.reset_vids ();
   let engine = Sim.Engine.create () in
   let topo = Cluster.Topology.make ~n_servers:2 ~n_clients:2 () in
-  let handlers : (int, src:int -> Obj.t -> unit) Hashtbl.t = Hashtbl.create 8 in
+  let handlers : (int, src:int -> Ncc.Msg.msg -> unit) Hashtbl.t = Hashtbl.create 8 in
   let msg_counter = ref 0 in
   let ctx node : Ncc.Msg.msg Cluster.Net.ctx =
     {
@@ -31,11 +42,18 @@ let run_schedule ~cfg ~txns (delays : float array) =
         (fun ~dst msg ->
           let k = !msg_counter in
           incr msg_counter;
-          let d = if k < Array.length delays then delays.(k) else 1e-4 in
-          Sim.Engine.schedule engine ~delay:d (fun () ->
-              match Hashtbl.find_opt handlers dst with
-              | Some h -> h ~src:node (Obj.repr msg)
-              | None -> ()));
+          let deliver delay =
+            Sim.Engine.schedule engine ~delay (fun () ->
+                match Hashtbl.find_opt handlers dst with
+                | Some h -> h ~src:node msg
+                | None -> ())
+          in
+          match if k < Array.length fates then fates.(k) else Delay late_delay with
+          | Delay d -> deliver d
+          | Drop -> ()
+          | Dup ->
+            deliver late_delay;
+            deliver dup_delay);
       timer = (fun ~delay f -> Sim.Engine.schedule engine ~delay f);
     }
   in
@@ -43,31 +61,53 @@ let run_schedule ~cfg ~txns (delays : float array) =
     List.map
       (fun id ->
         let s = Ncc.Server.create cfg (ctx id) in
-        Hashtbl.replace handlers id (fun ~src o -> Ncc.Server.handle s ~src (Obj.obj o));
+        Hashtbl.replace handlers id (fun ~src msg -> Ncc.Server.handle s ~src msg);
         s)
       [ 0; 1 ]
   in
   let outcomes = ref [] in
   let starts = Hashtbl.create 8 in
-  let clients =
+  let attempts = Hashtbl.create 8 in
+  let pending = Hashtbl.create 8 in (* txn id -> (client, txn) for retries *)
+  let clients = ref [] in
+  (* dropped messages strand attempts; a per-attempt timeout cancels
+     and (via the report callback below) resubmits, like the harness *)
+  let rec submit_txn client_id txn =
+    let c = List.assoc client_id !clients in
+    let id = txn.Txn.id in
+    let a = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts id) in
+    Hashtbl.replace attempts id a;
+    if not (Hashtbl.mem starts id) then
+      Hashtbl.replace starts id (Sim.Engine.now engine);
+    Hashtbl.replace pending id (client_id, txn);
+    Ncc.Client.submit c txn;
+    Sim.Engine.schedule engine ~delay:attempt_timeout (fun () ->
+        if Hashtbl.mem pending id && Hashtbl.find attempts id = a then
+          ignore (Ncc.Client.cancel c txn))
+  and report o =
+    outcomes := (Sim.Engine.now engine, o) :: !outcomes;
+    let id = o.Outcome.txn.Txn.id in
+    if Outcome.committed o then Hashtbl.remove pending id
+    else
+      match Hashtbl.find_opt pending id with
+      | Some (client_id, txn)
+        when Option.value ~default:0 (Hashtbl.find_opt attempts id) < max_attempts ->
+        Hashtbl.remove pending id;
+        Sim.Engine.schedule engine ~delay:1e-4 (fun () -> submit_txn client_id txn)
+      | _ -> Hashtbl.remove pending id
+  in
+  clients :=
     List.map
       (fun id ->
-        let c =
-          Ncc.Client.create cfg (ctx id) ~report:(fun o ->
-              outcomes := (Sim.Engine.now engine, o) :: !outcomes)
-        in
-        Hashtbl.replace handlers id (fun ~src o -> Ncc.Client.handle c ~src (Obj.obj o));
+        let c = Ncc.Client.create cfg (ctx id) ~report in
+        Hashtbl.replace handlers id (fun ~src msg -> Ncc.Client.handle c ~src msg);
         (id, c))
-      [ 2; 3 ]
-  in
+      [ 2; 3 ];
   List.iteri
     (fun i (client, txn_of) ->
       Sim.Engine.schedule engine
         ~delay:(0.001 +. (1e-5 *. float_of_int i))
-        (fun () ->
-          let txn = txn_of () in
-          Hashtbl.replace starts txn.Txn.id (Sim.Engine.now engine);
-          Ncc.Client.submit (List.assoc client clients) txn))
+        (fun () -> submit_txn client (txn_of ())))
     txns;
   Sim.Engine.run ~until:0.2 engine;
   (* verify the committed history *)
@@ -89,19 +129,20 @@ let run_schedule ~cfg ~txns (delays : float array) =
     servers;
   (!outcomes, Checker.Rsg.check chk ~strict:true)
 
-(* All delay vectors of length [n] over the choice set. *)
+(* All fate vectors of length [n] over the choice set. *)
 let rec schedules choices n =
   if n = 0 then [ [] ]
   else
     List.concat_map (fun rest -> List.map (fun c -> c :: rest) choices) (schedules choices (n - 1))
 
 let exhaust ~name ~txns ~positions =
-  let choices = [ 5e-5; 4e-4; 2e-3 ] in
   let count = ref 0 and committed_some = ref false in
   List.iter
     (fun sched ->
       incr count;
-      let outcomes, verdict = run_schedule ~cfg:Ncc.Msg.default_config ~txns (Array.of_list sched) in
+      let outcomes, verdict =
+        run_schedule ~cfg:Ncc.Msg.default_config ~txns (Array.of_list sched)
+      in
       (match verdict with
        | Checker.Rsg.Ok -> ()
        | Checker.Rsg.Violation v ->
@@ -112,7 +153,8 @@ let exhaust ~name ~txns ~positions =
   Alcotest.(check bool) (name ^ ": some schedule commits") true !committed_some;
   Alcotest.(check bool)
     (Printf.sprintf "%s: exhausted %d schedules" name !count)
-    true (!count = int_of_float (3.0 ** float_of_int positions))
+    true
+    (!count = int_of_float (float_of_int (List.length choices) ** float_of_int positions))
 
 (* Write-write conflict across two keys: the classic cross pattern. *)
 let ww_cross () =

@@ -101,12 +101,17 @@ let ncc_server_liveness =
       let wires = Hashtbl.create 16 in
       List.iter
         (fun (wire, key, (is_write, t)) ->
-          Hashtbl.replace wires wire ();
+          (* successive messages of one wire are successive shots: round
+             and cumulative op count grow, as the real coordinator
+             stamps them (the server drops true duplicates) *)
+          let shot = 1 + Option.value ~default:0 (Hashtbl.find_opt wires wire) in
+          Hashtbl.replace wires wire shot;
           let op = if is_write then Types.Write (key, t) else Types.Read key in
           Ncc.Server.handle server ~src:1
             (Ncc.Msg.Exec
                {
                  x_wire = wire;
+                 x_round = shot;
                  x_ops = [ op ];
                  x_ts = Ts.make ~time:t ~cid:wire;
                  x_ro = false;
@@ -114,14 +119,14 @@ let ncc_server_liveness =
                  x_client_ns = 0;
                  x_backup = 0;
                  x_cohorts = [ 0 ];
-                 x_expected_ops = 1;
+                 x_expected_ops = shot;
                  x_is_last = true;
                  x_bytes = 0;
                }))
         script;
       (* decide every wire (commit evens, abort odds) *)
       Hashtbl.iter
-        (fun wire () ->
+        (fun wire _ ->
           Ncc.Server.handle server ~src:1
             (Ncc.Msg.Decide { d_wire = wire; d_commit = wire mod 2 = 0 }))
         wires;

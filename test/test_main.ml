@@ -19,5 +19,6 @@ let () =
       ("paper-figures", Test_paper_figures.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("interactive", Test_interactive.suite);
+      ("chaos", Test_chaos.suite);
       ("e2e", Test_e2e.suite);
     ]

@@ -108,6 +108,7 @@ let ewma_tracks_replies () =
       (Msg.Exec_reply
          {
            e_wire = 999;  (* no such inflight: only the tracking updates *)
+           e_round = 1;
            e_server = server;
            e_results = [];
            e_server_ns = server_ns;

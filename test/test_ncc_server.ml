@@ -46,6 +46,7 @@ let exec ?(src = 1) ?(wire = 1) ?(t = 10) ?(ro = false) ?(tro = Ts.zero) rig ops
     (Msg.Exec
        {
          x_wire = wire;
+         x_round = 1;
          x_ops = ops;
          x_ts = ts t;
          x_ro = ro;

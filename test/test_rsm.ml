@@ -373,3 +373,80 @@ let stale_candidate_rejected () =
 
 let suite =
   suite @ [ Alcotest.test_case "raft stale candidate rejected" `Quick stale_candidate_rejected ]
+
+(* Failover driven through the cluster fault plane: the group runs over
+   [Cluster.Net] and the leader dies via a [Faults] crash window rather
+   than by reaching into the node. While down, the net suppresses the
+   crashed leader's sends and drops its inbox, so the survivors'
+   election timers do the rest — no committed entry may be lost. *)
+let failover_via_fault_plane () =
+  let engine = Sim.Engine.create () in
+  let topo = Cluster.Topology.make ~n_servers:3 ~n_clients:1 () in
+  (* node 3, the mandatory client, stays silent *)
+  let faults =
+    {
+      Cluster.Faults.none with
+      Cluster.Faults.crashes =
+        [ { Cluster.Faults.cr_node = 0; cr_at = 0.05; cr_for = 10.0 } ];
+    }
+  in
+  let net =
+    Cluster.Net.create ~faults engine (Sim.Rng.create 42) topo
+      ~latency:(Cluster.Latency.uniform ~one_way:1e-4 ~jitter_mean:2e-5)
+      ~clock_of:(fun _ -> Sim.Clock.perfect)
+  in
+  let applied = Array.init 3 (fun _ -> ref []) in
+  let rafts =
+    Array.init 3 (fun i ->
+        let ctx = Cluster.Net.ctx net i in
+        Rsm.Raft.create ~self:i
+          ~peers:(List.filter (fun j -> j <> i) [ 0; 1; 2 ])
+          ~send:(fun ~dst m -> ctx.Cluster.Net.send ~dst m)
+          ~timer:ctx.Cluster.Net.timer
+          ~rng:(Sim.Rng.create (100 + i))
+          ~on_commit:(fun ~index:_ cmd -> applied.(i) := cmd :: !(applied.(i)))
+          ~initial_leader:(i = 0) ())
+  in
+  Array.iteri
+    (fun i r ->
+      Cluster.Net.set_handler net i
+        ~cost:(fun _ -> 1e-6)
+        ~handler:(fun ~src m -> Rsm.Raft.handle r ~src m))
+    rafts;
+  Sim.Engine.run ~until:0.01 engine;
+  List.iter (fun c -> ignore (Rsm.Raft.propose rafts.(0) c)) [ 1; 2; 3 ];
+  Sim.Engine.run ~until:0.04 engine;
+  (* committed everywhere before the crash fires at t=0.05 *)
+  List.iter
+    (fun i ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d pre-crash log" i)
+        [ 1; 2; 3 ]
+        (List.rev !(applied.(i))))
+    [ 0; 1; 2 ];
+  Sim.Engine.run ~until:0.6 engine;
+  Alcotest.(check bool) "leader is down" false (Cluster.Net.is_up net 0);
+  Alcotest.(check int) "one crash injected" 1
+    (Cluster.Net.fault_stats net).Cluster.Net.crashes;
+  match List.filter (fun i -> Rsm.Raft.is_leader rafts.(i)) [ 1; 2 ] with
+  | [ l ] ->
+    ignore (Rsm.Raft.propose rafts.(l) 4);
+    Sim.Engine.run ~until:0.7 engine;
+    List.iter
+      (fun i ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "node %d post-failover log" i)
+          [ 1; 2; 3; 4 ]
+          (List.rev !(applied.(i))))
+      [ 1; 2 ]
+  | ls ->
+    Alcotest.fail
+      (Printf.sprintf "expected one new leader among survivors, got %d"
+         (List.length ls))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "raft failover via the fault plane" `Quick
+        failover_via_fault_plane;
+    ]
