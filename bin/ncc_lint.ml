@@ -1,0 +1,54 @@
+(* ncc_lint — the determinism linter (docs/determinism.md).
+
+   Usage: ncc_lint [--json] [--werror] [PATH ...]
+
+   Lints every .ml file under the given paths (default: lib bin bench
+   test) against the seed-replay rule set R1-R6 and exits non-zero if
+   any error-severity finding survives waivers. [--werror] also fails
+   on warnings (unused waiver pragmas). *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+(* Directory walk in sorted order — the linter obeys its own contract:
+   [Sys.readdir]'s order is unspecified, so we sort. *)
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name = "_build" then acc
+           else walk (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, roots = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
+  let json = List.mem "--json" flags in
+  let werror = List.mem "--werror" flags in
+  (match List.filter (fun f -> f <> "--json" && f <> "--werror") flags with
+   | [] -> ()
+   | unknown ->
+     Printf.eprintf "ncc_lint: unknown flag(s): %s\n"
+       (String.concat " " unknown);
+     exit 2);
+  let roots = if roots = [] then default_roots else roots in
+  (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+   | [] -> ()
+   | missing ->
+     Printf.eprintf "ncc_lint: no such path(s): %s\n" (String.concat " " missing);
+     exit 2);
+  let files =
+    List.rev (List.fold_left (fun acc root -> walk root acc) [] roots)
+    |> List.sort String.compare
+  in
+  let findings = List.concat_map Lint.Engine.lint_file files in
+  if json then Lint.Report.print_json Format.std_formatter findings
+  else if findings <> [] then Lint.Report.print_human Format.std_formatter findings
+  else
+    Printf.printf "ncc_lint: %d files clean (rules %s)\n" (List.length files)
+      (String.concat " " Lint.Rules.known_ids);
+  let errors = Lint.Engine.errors findings in
+  if errors <> [] || (werror && findings <> []) then exit 1

@@ -93,7 +93,9 @@ let make_server ctx =
    semantics of an executed dependency. Swept periodically. *)
 let sweep s =
   let stale =
-    Hashtbl.fold (fun wire st acc -> if st.t_executed then wire :: acc else acc) s.txns []
+    Detmap.fold_sorted
+      (fun wire st acc -> if st.t_executed then wire :: acc else acc)
+      s.txns []
   in
   List.iter (fun wire -> Hashtbl.remove s.txns wire) stale
 
@@ -228,8 +230,11 @@ let rec try_execute s st =
       in
       Hashtbl.replace s.done_results st.t_wire results;
       s.ctx.send ~dst:st.t_client (Commit_reply { c_wire = st.t_wire; c_results = results });
-      (* our execution may unblock transactions that depend on us *)
-      Hashtbl.iter (fun _ other -> if not other.t_executed then try_execute s other) s.txns
+      (* our execution may unblock transactions that depend on us; wire
+         order, not hash order, decides who executes first *)
+      Detmap.iter_sorted
+        (fun _ other -> if not other.t_executed then try_execute s other)
+        s.txns
     end
   end
 
@@ -260,7 +265,7 @@ let abort s ~wire =
     | Some st ->
       if not st.t_executed then begin
         st.t_executed <- true;
-        Hashtbl.iter
+        Detmap.iter_sorted
           (fun _ other -> if not other.t_executed then try_execute s other)
           s.txns
       end

@@ -140,8 +140,10 @@ let build t ~strict =
           Hashtbl.replace readers vid (r.txn :: l))
         r.reads)
     t.records;
-  (* ww and rw edges from per-key version orders *)
-  Hashtbl.iter
+  (* ww and rw edges from per-key version orders; traversals are sorted
+     (Detmap) so edge insertion order — and hence the cycle the DFS
+     reports — is independent of the hash function *)
+  Detmap.iter_sorted
     (fun _key vids ->
       let rec walk = function
         | [] | [ _ ] -> ()
@@ -155,7 +157,7 @@ let build t ~strict =
       walk vids)
     t.version_orders;
   (* wr edges *)
-  Hashtbl.iter
+  Detmap.iter_sorted
     (fun vid rs -> List.iter (fun reader -> g_edge g (writer vid) reader) rs)
     readers;
   (* make sure every committed txn is a node *)
@@ -210,7 +212,7 @@ let describe_cycle cycle =
    bug in the protocol under test). *)
 let dirty_reads t =
   let surviving = Hashtbl.create 4096 in
-  Hashtbl.iter
+  Detmap.iter_sorted
     (fun _ vids -> List.iter (fun vid -> Hashtbl.replace surviving vid ()) vids)
     t.version_orders;
   List.concat_map

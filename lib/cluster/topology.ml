@@ -54,5 +54,4 @@ let ops_by_server t ops =
       let prev = try Hashtbl.find tbl s with Not_found -> [] in
       Hashtbl.replace tbl s (op :: prev))
     ops;
-  Hashtbl.fold (fun s ops_rev acc -> (s, List.rev ops_rev) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  List.map (fun (s, ops_rev) -> (s, List.rev ops_rev)) (Kernel.Detmap.sorted_bindings tbl)

@@ -52,6 +52,7 @@ let check_ok verdict = String.length verdict >= 2 && String.sub verdict 0 2 = "o
 
 let run ?allow_crashes ?base protocol workload ~seed =
   let cfg = config ?allow_crashes ?base ~seed () in
+  Sim.Trace.reset_digest ();
   Sim.Trace.enable_digest ();
   let r = Runner.run protocol workload cfg in
   let digest = Sim.Trace.digest () in

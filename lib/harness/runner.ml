@@ -300,7 +300,7 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
     committed = !committed;
     gave_up = !gave_up;
     attempts = !attempts;
-    aborts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) aborts [];
+    aborts = Detmap.sorted_bindings aborts;
     dropped = !dropped;
     throughput = float_of_int !committed /. cfg.duration;
     mean_latency = Stats.Hist.mean hist;
@@ -311,7 +311,7 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
     msgs_per_commit =
       (if !committed = 0 then 0.0 else float_of_int msgs /. float_of_int !committed);
     max_utilization = Cluster.Net.max_server_utilization net ~duration:horizon;
-    counters = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [];
+    counters = Detmap.sorted_bindings counters;
     series = Stats.Series.rates series;
     check_result;
   }

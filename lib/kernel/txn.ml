@@ -28,6 +28,7 @@ type t = {
   bytes : int;              (* approximate payload size, for cost model *)
 }
 
+(* ncc-lint: allow R5 — global txn-id source; Runner.run calls reset_ids *)
 let next_id = ref 0
 
 let reset_ids () = next_id := 0

@@ -1,0 +1,45 @@
+(* Finding reporters: a human [file:line] form for terminals and CI
+   logs, and a JSON form for tooling. *)
+
+let human ppf (f : Engine.finding) =
+  Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" f.Engine.file f.Engine.line
+    f.Engine.col f.Engine.rule
+    (Rules.severity_to_string f.Engine.severity)
+    f.Engine.message
+
+let print_human ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." human f) findings;
+  let errors = List.length (Engine.errors findings) in
+  let warns = List.length findings - errors in
+  Format.fprintf ppf "ncc_lint: %d error%s, %d warning%s@." errors
+    (if errors = 1 then "" else "s")
+    warns
+    (if warns = 1 then "" else "s")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_finding (f : Engine.finding) =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
+    (json_escape f.Engine.file) f.Engine.line f.Engine.col
+    (json_escape f.Engine.rule)
+    (Rules.severity_to_string f.Engine.severity)
+    (json_escape f.Engine.message)
+
+let print_json ppf findings =
+  Format.fprintf ppf "{\"findings\":[%s],\"errors\":%d}@."
+    (String.concat "," (List.map json_finding findings))
+    (List.length (Engine.errors findings))

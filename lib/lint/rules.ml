@@ -1,0 +1,124 @@
+(* The determinism rule set, encoded as data.
+
+   Everything the repro claims — byte-identical seed replay, fair
+   protocol comparison, the paper's NCC-vs-baselines curves — rests on
+   the simulator being a pure function of its seed. These rules turn
+   that contract into a build-failing check (see docs/determinism.md):
+
+     R1  randomness only through Sim.Rng (the split-stream wrapper);
+     R2  no wall-clock or ambient nondeterminism;
+     R3  no unordered hash-table traversal: Hashtbl.iter/fold/to_seq
+         visit buckets in hash order, so anything they feed depends on
+         the hash function — use Kernel.Detmap instead;
+     R4  no Obj tricks (unchecked casts defeat every other guarantee);
+     R5  no top-level mutable state: module-global state survives
+         across runs inside one process and breaks run-to-run isolation
+         unless it is explicitly reset (Sim.Trace is the audited
+         exception);
+     R6  no exception-swallowing [with _ ->]: a swallowed exception
+         turns a deterministic crash into a silent divergence.
+
+   A rule names either forbidden identifier prefixes or exact forbidden
+   identifiers, or selects one of two structural checks (top-level
+   mutable state, wildcard exception handlers). [allowed_files] lists
+   repo-relative paths exempt from the rule; everything else needs a
+   per-site waiver pragma carrying a reason (see Pragma). *)
+
+type severity = Error | Warn
+
+type matcher =
+  | Forbid_prefixes of string list
+      (* any identifier or type constructor under one of these
+         module paths *)
+  | Forbid_idents of string list  (* exact fully-qualified identifiers *)
+  | Toplevel_mutable
+      (* ref / Hashtbl.create / Buffer.create / array literals ...
+         evaluated at module-initialisation time *)
+  | Wildcard_try  (* [try ... with _ ->] / [match ... with exception _ ->] *)
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;
+  matcher : matcher;
+  allowed_files : string list;
+}
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+let all : rule list =
+  [
+    {
+      id = "R1";
+      severity = Error;
+      summary = "Random.* outside Sim.Rng breaks split-stream reproducibility";
+      matcher = Forbid_prefixes [ "Random"; "Stdlib.Random" ];
+      allowed_files = [ "lib/sim/rng.ml" ];
+    };
+    {
+      id = "R2";
+      severity = Error;
+      summary = "wall-clock / ambient nondeterminism; simulated time only";
+      matcher =
+        Forbid_idents
+          [
+            "Unix.gettimeofday";
+            "Unix.time";
+            "Unix.gmtime";
+            "Unix.localtime";
+            "Sys.time";
+            "Random.self_init";
+            "Stdlib.Random.self_init";
+          ];
+      allowed_files = [];
+    };
+    {
+      id = "R3";
+      severity = Error;
+      summary =
+        "unordered Hashtbl traversal depends on the hash function; use \
+         Kernel.Detmap";
+      matcher =
+        Forbid_idents
+          [
+            "Hashtbl.iter";
+            "Hashtbl.fold";
+            "Hashtbl.to_seq";
+            "Hashtbl.to_seq_keys";
+            "Hashtbl.to_seq_values";
+            "Stdlib.Hashtbl.iter";
+            "Stdlib.Hashtbl.fold";
+            "Stdlib.Hashtbl.to_seq";
+            "Stdlib.Hashtbl.to_seq_keys";
+            "Stdlib.Hashtbl.to_seq_values";
+          ];
+      allowed_files = [ "lib/kernel/detmap.ml" ];
+    };
+    {
+      id = "R4";
+      severity = Error;
+      summary = "Obj.* defeats the type system and every invariant above";
+      matcher = Forbid_prefixes [ "Obj"; "Stdlib.Obj" ];
+      allowed_files = [];
+    };
+    {
+      id = "R5";
+      severity = Error;
+      summary =
+        "top-level mutable state survives across runs; thread state through \
+         values or reset it explicitly";
+      matcher = Toplevel_mutable;
+      allowed_files = [ "lib/sim/trace.ml" ];
+    };
+    {
+      id = "R6";
+      severity = Error;
+      summary = "[with _ ->] swallows exceptions and hides divergence";
+      matcher = Wildcard_try;
+      allowed_files = [];
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let known_ids = List.map (fun r -> r.id) all

@@ -38,6 +38,7 @@ type t = {
   mutable created : int;  (* versions created by this store (stats) *)
 }
 
+(* ncc-lint: allow R5 — global vid source; Runner.run calls reset_vids *)
 let vid_counter = ref 0
 
 let reset_vids () = vid_counter := 0
@@ -182,12 +183,12 @@ let committed_order t key =
     (List.filter (fun v -> v.status = Committed) !(chain t key))
 
 let all_committed_orders t =
-  Hashtbl.fold (fun key _ acc -> (key, committed_order t key) :: acc) t.tbl []
+  Detmap.fold_sorted (fun key _ acc -> (key, committed_order t key) :: acc) t.tbl []
 
 (* Drop committed versions beyond the [keep] newest entries of each
    chain; undecided versions are never dropped. *)
 let gc ?(keep = 8) t =
-  Hashtbl.iter
+  Detmap.iter_sorted
     (fun _ c ->
       let rec trim i = function
         | [] -> []

@@ -331,8 +331,8 @@ let apply_decision t ~wire ~commit =
                 blocked
             end)
         rec_.tr_accesses;
-      (* release anything this decision unblocked *)
-      Hashtbl.iter (fun key () -> reeval t key) touched;
+      (* release anything this decision unblocked, in key order *)
+      Detmap.iter_sorted (fun key () -> reeval t key) touched;
       if t.cfg.gc_every > 0 && t.n_decides mod t.cfg.gc_every = 0 then
         Store.gc ~keep:8 t.store
   end

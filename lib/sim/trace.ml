@@ -24,7 +24,7 @@ type state = {
 
 let st =
   { buf = [||]; next = 0; count = 0; on = false; digest_on = false;
-    digest = "" }
+    digest = Digest.string "" }
 
 let enable ?(capacity = 4096) () =
   st.buf <- Array.make capacity { ev_time = 0.0; ev_cat = ""; ev_msg = "" };
@@ -34,11 +34,16 @@ let enable ?(capacity = 4096) () =
 
 let disable () = st.on <- false
 
-let enable_digest () =
-  st.digest_on <- true;
-  st.digest <- Digest.string ""
+(* Turning accumulation on must NOT clear the rolling digest: the
+   tracer is a global singleton, so an [enable_digest] from one layer
+   mid-run (say, a nested chaos probe) would silently wipe the history
+   another layer is still accumulating. Resetting is a separate,
+   explicit act. *)
+let enable_digest () = st.digest_on <- true
 
 let disable_digest () = st.digest_on <- false
+
+let reset_digest () = st.digest <- Digest.string ""
 
 let digest () = Digest.to_hex st.digest
 

@@ -10,12 +10,18 @@ val disable : unit -> unit
 
 (** Fold every emitted event into a rolling digest (without needing the
     ring). Equal digests across two runs mean identical full traces —
-    the determinism oracle used by chaos-seed replay. *)
+    the determinism oracle used by chaos-seed replay. [enable_digest]
+    only turns accumulation on; it never clears the digest (the tracer
+    is global, and a mid-run enable must not wipe history another layer
+    is accumulating). Start a fresh stream with [reset_digest]. *)
 val enable_digest : unit -> unit
 
 val disable_digest : unit -> unit
 
-(** Hex digest of everything emitted since [enable_digest]. *)
+(** Clear the rolling digest, starting a fresh stream. *)
+val reset_digest : unit -> unit
+
+(** Hex digest of everything emitted since the last [reset_digest]. *)
 val digest : unit -> string
 
 val active : unit -> bool

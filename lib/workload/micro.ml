@@ -19,7 +19,10 @@ type params = {
   label : string;
 }
 
-(* Unique write payloads so every version is distinguishable. *)
+(* Unique write payloads so every version is distinguishable. Shared
+   by all workload generators (tpcc, facebook_tao, examples); the tag
+   is opaque to protocols and never feeds control flow or digests. *)
+(* ncc-lint: allow R5 — opaque payload tag, never observed by protocols *)
 let value_counter = ref 0
 
 let fresh_value () =

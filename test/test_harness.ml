@@ -38,6 +38,68 @@ let runner_accounting () =
   Alcotest.(check bool) "utilization sane" true
     (r.Harness.Runner.max_utilization >= 0.0 && r.Harness.Runner.max_utilization <= 1.0)
 
+(* Two runs with the same seed must produce identical result records
+   field-by-field — a stronger oracle than the chaos trace digests,
+   and the guard for the Detmap fixes: any surviving dependence on
+   hash order surfaces here as a named field diff. The workload is
+   constructed afresh per run, as a replaying CLI invocation would. *)
+let runner_same_seed_deterministic =
+  QCheck.Test.make ~name:"runner same-seed determinism (field-by-field)"
+    ~count:4
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cfg =
+        {
+          Harness.Runner.default with
+          Harness.Runner.seed;
+          n_servers = 3;
+          n_clients = 6;
+          offered_load = 800.0;
+          duration = 0.5;
+          warmup = 0.1;
+          drain = 0.3;
+          check = Harness.Runner.Strict;
+          series_width = Some 0.1;
+        }
+      in
+      let run () =
+        Harness.Runner.run Ncc.protocol (Workload.Google_f1.make ~n_keys:500 ()) cfg
+      in
+      let a = run () in
+      let b = run () in
+      let open Harness.Runner in
+      (* [compare] rather than [=] so float fields equal even if NaN *)
+      let feq f = compare (f a) (f b) = 0 in
+      let diffs =
+        List.filter_map
+          (fun (name, eq) -> if eq then None else Some name)
+          [
+            ("protocol", a.protocol = b.protocol);
+            ("workload", a.workload = b.workload);
+            ("offered", feq (fun r -> r.offered));
+            ("committed", a.committed = b.committed);
+            ("gave_up", a.gave_up = b.gave_up);
+            ("attempts", a.attempts = b.attempts);
+            ("aborts", a.aborts = b.aborts);
+            ("dropped", a.dropped = b.dropped);
+            ("throughput", feq (fun r -> r.throughput));
+            ("mean_latency", feq (fun r -> r.mean_latency));
+            ("p50", feq (fun r -> r.p50));
+            ("p90", feq (fun r -> r.p90));
+            ("p99", feq (fun r -> r.p99));
+            ("messages", a.messages = b.messages);
+            ("msgs_per_commit", feq (fun r -> r.msgs_per_commit));
+            ("max_utilization", feq (fun r -> r.max_utilization));
+            ("counters", feq (fun r -> r.counters));
+            ("series", feq (fun r -> r.series));
+            ("check_result", a.check_result = b.check_result);
+          ]
+      in
+      if diffs = [] then true
+      else
+        QCheck.Test.fail_reportf "same seed, fields differ: %s"
+          (String.concat ", " diffs))
+
 let testbed_basics () =
   let outcomes = ref 0 in
   let bed =
@@ -124,8 +186,8 @@ let ncc_server_liveness =
                  x_bytes = 0;
                }))
         script;
-      (* decide every wire (commit evens, abort odds) *)
-      Hashtbl.iter
+      (* decide every wire (commit evens, abort odds), in wire order *)
+      Detmap.iter_sorted
         (fun wire _ ->
           Ncc.Server.handle server ~src:1
             (Ncc.Msg.Decide { d_wire = wire; d_commit = wire mod 2 = 0 }))
@@ -140,13 +202,13 @@ let ncc_server_liveness =
             (1 + Option.value ~default:0 (Hashtbl.find_opt messages_per_wire wire)))
         script;
       let all_answered =
-        Hashtbl.fold
+        Detmap.fold_sorted
           (fun wire n acc ->
             acc && Option.value ~default:0 (Hashtbl.find_opt replies wire) >= n)
           messages_per_wire true
       in
       let no_pending =
-        Hashtbl.fold
+        Detmap.fold_sorted
           (fun _ ks acc -> acc && ks.Ncc.Server.ks_pending = [])
           server.Ncc.Server.keys true
       in
@@ -157,4 +219,5 @@ let suite =
     Alcotest.test_case "runner accounting" `Slow runner_accounting;
     Alcotest.test_case "testbed basics" `Quick testbed_basics;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ cost_monotonic; ncc_server_liveness ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ cost_monotonic; ncc_server_liveness; runner_same_seed_deterministic ]

@@ -1,0 +1,168 @@
+(* Fixture tests for the determinism linter (lib/lint): every rule
+   R1-R6 firing on a violating snippet, staying quiet on the clean
+   equivalent, and being silenced by a waiver pragma; plus the pragma
+   machinery itself (reason required, unknown rules rejected, unused
+   waivers reported) and the per-rule file allowlists.
+
+   Pragma keywords inside fixture strings are assembled by
+   concatenation so the linter, which scans this file too, does not
+   mistake them for waivers of the host file. *)
+
+let kw = "(* ncc-" ^ "lint:"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let sites ?(file = "fixture.ml") src =
+  List.map
+    (fun (f : Lint.Engine.finding) -> (f.Lint.Engine.file, f.line, f.rule))
+    (Lint.Engine.lint_source ~file src)
+
+let check_sites name ?file expected src =
+  Alcotest.(check (list (triple string int string))) name expected (sites ?file src)
+
+let fires () =
+  check_sites "R1 Random use"
+    [ ("fixture.ml", 2, "R1") ]
+    "let scale = 3\nlet f bound = Random.int (bound * scale)\n";
+  check_sites "R1 Random.State use"
+    [ ("fixture.ml", 1, "R1") ]
+    "let f st = Random.State.bool st\n";
+  check_sites "R2 wall clock"
+    [ ("fixture.ml", 1, "R2") ]
+    "let now () = Unix.gettimeofday ()\n";
+  check_sites "R2 cpu clock"
+    [ ("fixture.ml", 1, "R2") ]
+    "let t () = Sys.time ()\n";
+  check_sites "R3 unordered fold"
+    [ ("fixture.ml", 1, "R3") ]
+    "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n";
+  check_sites "R3 unordered iter"
+    [ ("fixture.ml", 2, "R3") ]
+    "let f t g =\n  Hashtbl.iter g t\n";
+  check_sites "R4 magic"
+    [ ("fixture.ml", 1, "R4") ]
+    "let cast x = Obj.magic x\n";
+  check_sites "R4 Obj.t in a type"
+    [ ("fixture.ml", 1, "R4") ]
+    "type t = { payload : Obj.t }\n";
+  check_sites "R5 toplevel ref"
+    [ ("fixture.ml", 1, "R5") ]
+    "let counter = ref 0\n";
+  check_sites "R5 toplevel table"
+    [ ("fixture.ml", 2, "R5") ]
+    "let size = 16\nlet cache = Hashtbl.create size\n";
+  check_sites "R5 toplevel array literal (Trace-style mutable record)"
+    [ ("fixture.ml", 1, "R5") ]
+    "let state = { buf = [||]; n = 0 }\n";
+  check_sites "R5 inside nested module"
+    [ ("fixture.ml", 2, "R5") ]
+    "module M = struct\n  let hits = ref 0\nend\n";
+  check_sites "R6 wildcard try"
+    [ ("fixture.ml", 1, "R6") ]
+    "let safe g = try g () with _ -> 0\n";
+  check_sites "R6 wildcard match-exception"
+    [ ("fixture.ml", 1, "R6") ]
+    "let safe g = match g () with x -> x | exception _ -> 0\n"
+
+let clean () =
+  check_sites "R1 clean: Sim.Rng" []
+    "let f rng bound = Sim.Rng.int rng bound\n";
+  check_sites "R2 clean: simulated time" []
+    "let now engine = Sim.Engine.now engine\n";
+  check_sites "R3 clean: Detmap" []
+    "let keys t = Kernel.Detmap.fold_sorted (fun k _ acc -> k :: acc) t []\n";
+  check_sites "R3 clean: point lookups stay free" []
+    "let f t k = Hashtbl.replace t k (Option.value ~default:0 (Hashtbl.find_opt t k))\n";
+  check_sites "R5 clean: creation under a function" []
+    "let make () = (ref 0, Hashtbl.create 16, Buffer.create 64)\n";
+  check_sites "R5 clean: unit driver body" []
+    "let () = print_string (Buffer.contents (Buffer.create 4))\n";
+  check_sites "R6 clean: named exception" []
+    "let safe g = try g () with Not_found -> 0\n"
+
+let waived () =
+  check_sites "R1 waived, pragma above" []
+    (kw ^ " allow R1 \xe2\x80\x94 fixture exercising the waiver *)\n\
+     let f bound = Random.int bound\n");
+  check_sites "R3 waived, trailing pragma" []
+    ("let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] " ^ kw
+   ^ " allow R3 -- commutative *)\n");
+  check_sites "R5+R2 waived together" []
+    (kw ^ " allow R5, R2 - fixture *)\nlet t0 = ref (Unix.gettimeofday ())\n");
+  check_sites "waiver is line-scoped: second site still fires"
+    [ ("fixture.ml", 3, "R5") ]
+    (kw ^ " allow R5 - fixture *)\nlet a = ref 0\nlet b = ref 0\n");
+  (* the R3 finding is waived; R6 on the same line is not *)
+  check_sites "waiver is rule-scoped: other rule still fires"
+    [ ("fixture.ml", 2, "R6") ]
+    (kw ^ " allow R3 - wrong rule *)\nlet f t g = try Hashtbl.iter g t with _ -> ()\n")
+
+let pragma_machinery () =
+  check_sites "reasonless waiver is an error"
+    [ ("fixture.ml", 1, "pragma"); ("fixture.ml", 2, "R5") ]
+    (kw ^ " allow R5 *)\nlet a = ref 0\n");
+  check_sites "unknown rule id is an error"
+    [ ("fixture.ml", 1, "pragma"); ("fixture.ml", 2, "R5") ]
+    (kw ^ " allow R9 - no such rule *)\nlet a = ref 0\n");
+  check_sites "unused waiver is reported"
+    [ ("fixture.ml", 1, "pragma") ]
+    (kw ^ " allow R1 - nothing here uses Random *)\nlet a = 1\n");
+  (let fs =
+     Lint.Engine.lint_source ~file:"fixture.ml"
+       (kw ^ " allow R1 - unused *)\nlet a = 1\n")
+   in
+   match fs with
+   | [ f ] ->
+     Alcotest.(check bool) "unused waiver is warn-severity" true
+       (f.Lint.Engine.severity = Lint.Rules.Warn)
+   | _ -> Alcotest.fail "expected exactly one finding");
+  check_sites "keyword inside a string literal is inert" []
+    "let doc = \"ncc-lint: allow R1 - not a pragma\"\n"
+
+let allowlists () =
+  check_sites "R1 allowed inside Sim.Rng" ~file:"lib/sim/rng.ml" []
+    "let bits st = Random.State.bits st\n";
+  check_sites "path normalization applies to allowlists"
+    ~file:"./lib/sim/rng.ml" [] "let bits st = Random.State.bits st\n";
+  check_sites "R5 allowed inside Sim.Trace" ~file:"lib/sim/trace.ml" []
+    "let st = { buf = [||]; n = 0 }\n";
+  check_sites "R3 allowed inside Detmap itself" ~file:"lib/kernel/detmap.ml" []
+    "let bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []\n";
+  (* the allowlist is per-rule: R2 still fires inside Sim.Rng *)
+  check_sites "allowlist is rule-scoped" ~file:"lib/sim/rng.ml"
+    [ ("lib/sim/rng.ml", 1, "R2") ]
+    "let seed () = int_of_float (Unix.time ())\n"
+
+let parse_error_is_finding () =
+  match Lint.Engine.lint_source ~file:"fixture.ml" "let let let\n" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "parse" f.Lint.Engine.rule;
+    Alcotest.(check bool) "severity" true (f.Lint.Engine.severity = Lint.Rules.Error)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 parse finding, got %d" (List.length fs))
+
+let reporters () =
+  let findings =
+    Lint.Engine.lint_source ~file:"fixture.ml" "let c = ref 0\n"
+  in
+  let human = Format.asprintf "%a" Lint.Report.print_human findings in
+  Alcotest.(check bool) "human form has file:line:col and rule" true
+    (contains human "fixture.ml:1:8: [R5/error]");
+  let json = Format.asprintf "%a" Lint.Report.print_json findings in
+  Alcotest.(check bool) "json form carries the site" true
+    (contains json {|"file":"fixture.ml","line":1,"col":8,"rule":"R5"|});
+  Alcotest.(check bool) "json form counts errors" true
+    (contains json {|"errors":1|})
+
+let suite =
+  [
+    Alcotest.test_case "rules fire" `Quick fires;
+    Alcotest.test_case "clean code stays clean" `Quick clean;
+    Alcotest.test_case "waiver pragmas" `Quick waived;
+    Alcotest.test_case "pragma machinery" `Quick pragma_machinery;
+    Alcotest.test_case "file allowlists" `Quick allowlists;
+    Alcotest.test_case "parse errors are findings" `Quick parse_error_is_finding;
+    Alcotest.test_case "reporters" `Quick reporters;
+  ]

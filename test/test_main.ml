@@ -20,5 +20,6 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("interactive", Test_interactive.suite);
       ("chaos", Test_chaos.suite);
+      ("lint", Test_lint.suite);
       ("e2e", Test_e2e.suite);
     ]

@@ -7,6 +7,7 @@ module Client = Ncc.Client
 
 let ts t = Ts.make ~time:t ~cid:3
 
+(* ncc-lint: allow R5 — fixture vid source; only distinctness matters *)
 let vid_gen = ref 0
 
 (* distinct vids and no own-predecessor links, so the plain overlap

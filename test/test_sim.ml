@@ -112,7 +112,7 @@ let zipf_skew () =
     let k = Sim.Rng.zipf_draw r z in
     Hashtbl.replace hits k (1 + Option.value ~default:0 (Hashtbl.find_opt hits k))
   done;
-  let top = Hashtbl.fold (fun _ c acc -> max c acc) hits 0 in
+  let top = Kernel.Detmap.fold_sorted (fun _ c acc -> max c acc) hits 0 in
   Alcotest.(check bool)
     "hot key well above uniform share" true
     (float_of_int top > 20.0 *. (50_000.0 /. float_of_int n))
@@ -168,9 +168,39 @@ let trace_capture_from_net () =
     (List.exists (fun e -> e.Sim.Trace.ev_cat = "send") (Sim.Trace.events ())
     && List.exists (fun e -> e.Sim.Trace.ev_cat = "handle") (Sim.Trace.events ()))
 
+(* Regression: the tracer is a global singleton, and [enable_digest]
+   used to clear the rolling digest as a side effect — a second enable
+   mid-run silently wiped the history accumulated so far and broke the
+   replay oracle. Enabling must be idempotent; only [reset_digest]
+   starts a fresh stream. *)
+let trace_digest_mid_run_enable () =
+  let emit_run () =
+    Sim.Trace.emit ~time:1.0 ~cat:"a" "one";
+    Sim.Trace.emit ~time:2.0 ~cat:"b" "two"
+  in
+  Sim.Trace.reset_digest ();
+  Sim.Trace.enable_digest ();
+  emit_run ();
+  let full = Sim.Trace.digest () in
+  Sim.Trace.disable_digest ();
+  Sim.Trace.reset_digest ();
+  Sim.Trace.enable_digest ();
+  Sim.Trace.emit ~time:1.0 ~cat:"a" "one";
+  Sim.Trace.enable_digest ();  (* mid-run: must keep accumulated history *)
+  Sim.Trace.emit ~time:2.0 ~cat:"b" "two";
+  let resumed = Sim.Trace.digest () in
+  Sim.Trace.disable_digest ();
+  Alcotest.(check string) "mid-run enable keeps the digest" full resumed;
+  let before_reset = Sim.Trace.digest () in
+  Sim.Trace.reset_digest ();
+  Alcotest.(check bool) "reset starts a fresh stream" true
+    (Sim.Trace.digest () <> before_reset)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "trace ring buffer" `Quick trace_ring;
       Alcotest.test_case "trace captures net events" `Quick trace_capture_from_net;
+      Alcotest.test_case "trace digest survives mid-run enable" `Quick
+        trace_digest_mid_run_enable;
     ]

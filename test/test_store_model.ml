@@ -15,6 +15,7 @@ module Model = struct
   type t = { mutable chains : (int * version list) list }
   (* newest-first chains; terminator = initial version *)
 
+  (* ncc-lint: allow R5 — model-local id source, reset by create () *)
   let fresh_id = ref 0
 
   let create () =
