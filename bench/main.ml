@@ -118,7 +118,7 @@ let micro () =
            for i = 1 to 100 do
              Sim.Heap.push h (float_of_int (i * 7919 mod 100)) i
            done;
-           while Sim.Heap.pop h <> None do
+           while Option.is_some (Sim.Heap.pop h) do
              ()
            done))
   in

@@ -1,54 +1,158 @@
 (* ncc_lint — the determinism linter (docs/determinism.md).
 
-   Usage: ncc_lint [--json] [--werror] [PATH ...]
+   Usage: ncc_lint [--json] [--werror] [--rules R1,R7,...]
+                   [--cmt-root DIR] [PATH ...]
 
    Lints every .ml file under the given paths (default: lib bin bench
-   test) against the seed-replay rule set R1-R6 and exits non-zero if
-   any error-severity finding survives waivers. [--werror] also fails
-   on warnings (unused waiver pragmas). *)
+   test) against the syntactic rule set R1-R6, and — when --cmt-root
+   points at a build tree containing .cmt files — the typed rules
+   R7-R10 as well. Exits non-zero if any error-severity finding
+   survives waivers; [--werror] also fails on warnings (unused waiver
+   pragmas). *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
+let usage =
+  "usage: ncc_lint [--json] [--werror] [--rules R1,R7,...] [--cmt-root DIR] \
+   [PATH ...]\n\n\
+  \  --json          emit findings as JSON instead of file:line text\n\
+  \  --werror        exit non-zero on warnings too\n\
+  \  --rules IDS     run only the comma-separated rule ids (e.g. R7,R9)\n\
+  \  --cmt-root DIR  also run the typed rules R7-R10 over the .cmt files\n\
+  \                  found under DIR (a dune build tree, e.g. _build/default\n\
+  \                  — or . when already running inside it)\n\
+  \  --help          show this message\n\n\
+   Default PATHs: lib bin bench test. Rules: docs/determinism.md.\n"
+
+let die msg =
+  Printf.eprintf "ncc_lint: %s\n%s" msg usage;
+  exit 2
+
 (* Directory walk in sorted order — the linter obeys its own contract:
    [Sys.readdir]'s order is unspecified, so we sort. *)
-let rec walk path acc =
+let rec walk ~ext ~skip_dot path acc =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list
     |> List.sort String.compare
     |> List.fold_left
          (fun acc name ->
-           if name = "" || name.[0] = '.' || name = "_build" then acc
-           else walk (Filename.concat path name) acc)
+           if
+             name = "" || name = "_build" || name = ".git"
+             || (skip_dot && name.[0] = '.')
+           then acc
+           else walk ~ext ~skip_dot (Filename.concat path name) acc)
          acc
-  else if Filename.check_suffix path ".ml" then path :: acc
+  else if Filename.check_suffix path ext then path :: acc
   else acc
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let flags, roots = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
-  let json = List.mem "--json" flags in
-  let werror = List.mem "--werror" flags in
-  (match List.filter (fun f -> f <> "--json" && f <> "--werror") flags with
+type opts = {
+  json : bool;
+  werror : bool;
+  rules : string list option;
+  cmt_root : string option;
+  roots : string list;
+}
+
+let parse_rules spec =
+  let ids =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  if ids = [] then die "--rules needs a comma-separated list of rule ids";
+  (match
+     List.filter (fun id -> not (List.mem id Lint.Rules.known_ids)) ids
+   with
    | [] -> ()
-   | unknown ->
-     Printf.eprintf "ncc_lint: unknown flag(s): %s\n"
-       (String.concat " " unknown);
-     exit 2);
-  let roots = if roots = [] then default_roots else roots in
+   | bad ->
+     die
+       (Printf.sprintf "unknown rule id(s): %s (known: %s)"
+          (String.concat ", " bad)
+          (String.concat " " Lint.Rules.known_ids)));
+  ids
+
+let split_eq a =
+  match String.index_opt a '=' with
+  | Some i ->
+    Some (String.sub a 0 i, String.sub a (i + 1) (String.length a - i - 1))
+  | None -> None
+
+let parse_args args =
+  let rec go o = function
+    | [] -> o
+    | "--help" :: _ ->
+      print_string usage;
+      exit 0
+    | "--json" :: rest -> go { o with json = true } rest
+    | "--werror" :: rest -> go { o with werror = true } rest
+    | "--rules" :: spec :: rest ->
+      go { o with rules = Some (parse_rules spec) } rest
+    | [ "--rules" ] -> die "--rules needs an argument"
+    | "--cmt-root" :: dir :: rest -> go { o with cmt_root = Some dir } rest
+    | [ "--cmt-root" ] -> die "--cmt-root needs an argument"
+    | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> (
+      match split_eq a with
+      | Some ("--rules", spec) -> go { o with rules = Some (parse_rules spec) } rest
+      | Some ("--cmt-root", dir) -> go { o with cmt_root = Some dir } rest
+      | _ -> die (Printf.sprintf "unknown flag: %s" a))
+    | path :: rest -> go { o with roots = o.roots @ [ path ] } rest
+  in
+  go { json = false; werror = false; rules = None; cmt_root = None; roots = [] }
+    args
+
+let () =
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let roots = if o.roots = [] then default_roots else o.roots in
   (match List.filter (fun r -> not (Sys.file_exists r)) roots with
    | [] -> ()
-   | missing ->
-     Printf.eprintf "ncc_lint: no such path(s): %s\n" (String.concat " " missing);
-     exit 2);
+   | missing -> die ("no such path(s): " ^ String.concat " " missing));
   let files =
-    List.rev (List.fold_left (fun acc root -> walk root acc) [] roots)
-    |> List.sort String.compare
+    List.rev
+      (List.fold_left
+         (fun acc root -> walk ~ext:".ml" ~skip_dot:true root acc)
+         [] roots)
+    |> List.map Lint.Engine.normalize
+    |> List.sort_uniq String.compare
   in
-  let findings = List.concat_map Lint.Engine.lint_file files in
-  if json then Lint.Report.print_json Format.std_formatter findings
-  else if findings <> [] then Lint.Report.print_human Format.std_formatter findings
+  (* Typed rules first: their findings merge into each file's waiver
+     pass below. The .objs directories holding .cmt files are
+     dot-named, so this walk must not skip dot entries. *)
+  let typed, used_sites =
+    match o.cmt_root with
+    | None -> ([], [])
+    | Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        die ("--cmt-root: no such directory: " ^ dir);
+      let cmts = List.rev (walk ~ext:".cmt" ~skip_dot:false dir []) in
+      Lint.Typed_engine.lint_cmts ?only:o.rules cmts
+  in
+  let in_scope f = List.mem f.Lint.Engine.file files in
+  let typed_in_scope, typed_stray = List.partition in_scope typed in
+  (* Findings the cmt walk produced for files outside the requested
+     roots are dropped; unreadable-cmt errors always surface. *)
+  let typed_stray =
+    List.filter (fun f -> f.Lint.Engine.rule = "cmt") typed_stray
+  in
+  let findings =
+    List.concat_map
+      (fun file ->
+        let typed =
+          List.filter (fun f -> f.Lint.Engine.file = file) typed_in_scope
+        in
+        let used_sites =
+          List.filter_map
+            (fun (f, line) -> if f = file then Some line else None)
+            used_sites
+        in
+        Lint.Engine.lint_file ~typed ?only:o.rules ~used_sites file)
+      files
+    @ typed_stray
+  in
+  let findings = List.sort Lint.Engine.compare_findings findings in
+  if o.json then Lint.Report.print_json Format.std_formatter findings
+  else if findings <> [] then
+    Lint.Report.print_human Format.std_formatter findings
   else
     Printf.printf "ncc_lint: %d files clean (rules %s)\n" (List.length files)
-      (String.concat " " Lint.Rules.known_ids);
+      (String.concat " "
+         (match o.rules with None -> Lint.Rules.known_ids | Some ids -> ids));
   let errors = Lint.Engine.errors findings in
-  if errors <> [] || (werror && findings <> []) then exit 1
+  if errors <> [] || (o.werror && findings <> []) then exit 1

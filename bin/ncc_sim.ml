@@ -203,11 +203,13 @@ let run_cmd =
         List.iter (fun (k, n) -> Printf.printf " %s=%d" k n) r.Harness.Runner.aborts;
         print_newline ()
       end;
-      if r.Harness.Runner.counters <> [] then begin
+      if not (List.is_empty r.Harness.Runner.counters) then begin
         Printf.printf "counters:";
         List.iter
           (fun (k, v) -> Printf.printf " %s=%.0f" k v)
-          (List.sort compare r.Harness.Runner.counters);
+          (List.sort
+             (fun (a, _) (b, _) -> String.compare a b)
+             r.Harness.Runner.counters);
         print_newline ()
       end;
       if trace > 0 then begin

@@ -171,7 +171,7 @@ let acquire s ~src (a : int * int * Ts.t * Types.op list * bool * int) =
         else
           match Locks.try_acquire s.locks key ~owner ~mode with
           | `Granted ->
-            if not (List.mem key st.h_keys) then st.h_keys <- key :: st.h_keys;
+            if not (Types.mem_key key st.h_keys) then st.h_keys <- key :: st.h_keys;
             if not pm.pm_failed then
               pm.pm_results <- execute_op s st ~ts ~wire op :: pm.pm_results
           | `Conflict holders ->
@@ -210,7 +210,7 @@ let acquire s ~src (a : int * int * Ts.t * Types.op list * bool * int) =
                    match Locks.try_acquire s.locks key ~owner ~mode with
                    | `Granted ->
                      pm.pm_waiting <- pm.pm_waiting - 1;
-                     if not (List.mem key st.h_keys) then st.h_keys <- key :: st.h_keys;
+                     if not (Types.mem_key key st.h_keys) then st.h_keys <- key :: st.h_keys;
                      pm.pm_results <- execute_op s st ~ts ~wire op :: pm.pm_results;
                      reply_pending s pm
                    | `Conflict hs ->
@@ -276,7 +276,7 @@ let send_round c f ops ~exclusive =
   f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
-      if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
+      if not (Types.mem_node server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
       c.cctx.send ~dst:server
         (Acquire
            {
@@ -350,7 +350,7 @@ let client_handle c ~src msg =
   | Acquire_reply { r_wire; r_round; r_ok; r_results } ->
     (match Hashtbl.find_opt c.inflight r_wire with
      | None -> ()
-     | Some f when r_round <> f.f_round || List.mem src f.f_replied ->
+     | Some f when r_round <> f.f_round || Types.mem_node src f.f_replied ->
        () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
        f.f_replied <- src :: f.f_replied;

@@ -255,11 +255,12 @@ and start_prepare c f =
       let reads =
         List.filter_map
           (fun r ->
-            if (not r.Common.b_is_write) && List.mem r.Common.b_key keys_here then
+            if (not r.Common.b_is_write) && Types.mem_key r.Common.b_key keys_here then
               Some (r.Common.b_key, r.Common.b_vid)
             else None)
           f.f_results
-        |> List.sort_uniq compare
+        |> List.sort_uniq (fun (k1, v1) (k2, v2) ->
+               match Int.compare k1 k2 with 0 -> Int.compare v1 v2 | c -> c)
       in
       let writes =
         List.filter_map
@@ -319,7 +320,7 @@ let client_handle c ~src msg =
     (match Hashtbl.find_opt c.inflight e_wire with
      | Some f
        when f.f_phase = Executing && e_round = f.f_round
-            && not (List.mem src f.f_replied) ->
+            && not (Types.mem_node src f.f_replied) ->
        f.f_replied <- src :: f.f_replied;
        f.f_results <- List.rev_append e_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
@@ -327,7 +328,7 @@ let client_handle c ~src msg =
      | Some _ | None -> ())
   | Prepare_reply { p_wire; p_ok; p_writes } ->
     (match Hashtbl.find_opt c.inflight p_wire with
-     | Some f when f.f_phase = Preparing && not (List.mem src f.f_replied) ->
+     | Some f when f.f_phase = Preparing && not (Types.mem_node src f.f_replied) ->
        f.f_replied <- src :: f.f_replied;
        if not p_ok then f.f_prepare_ok <- false;
        f.f_results <- List.rev_append p_writes f.f_results;

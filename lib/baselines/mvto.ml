@@ -202,7 +202,7 @@ let send_shot c f shot =
   f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
-      if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
+      if not (Types.mem_node server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
       c.cctx.send ~dst:server
         (Exec
            {
@@ -259,7 +259,7 @@ let client_handle c ~src msg =
   | Exec_reply { e_wire; e_round; e_ok; e_results } ->
     (match Hashtbl.find_opt c.inflight e_wire with
      | None -> ()
-     | Some f when e_round <> f.f_round || List.mem src f.f_replied ->
+     | Some f when e_round <> f.f_round || Types.mem_node src f.f_replied ->
        () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
        f.f_replied <- src :: f.f_replied;

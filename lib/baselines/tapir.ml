@@ -162,7 +162,7 @@ let send_shot c f shot =
   f.f_replied <- [];
   List.iter
     (fun (server, ops) ->
-      if not (List.mem server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
+      if not (Types.mem_node server f.f_contacted) then f.f_contacted <- server :: f.f_contacted;
       c.cctx.send ~dst:server
         (Prepare
            {
@@ -217,7 +217,7 @@ let client_handle c ~src msg =
   | Prepare_reply { p_wire; p_round; p_ok; p_results } ->
     (match Hashtbl.find_opt c.inflight p_wire with
      | None -> ()
-     | Some f when p_round <> f.f_round || List.mem src f.f_replied ->
+     | Some f when p_round <> f.f_round || Types.mem_node src f.f_replied ->
        () (* stale round, or a duplicate delivery of this round's reply *)
      | Some f ->
        f.f_replied <- src :: f.f_replied;

@@ -149,7 +149,7 @@ let preaccept s ~src ~wire ~round ops =
             | Some ost when not ost.t_executed ->
               let other_writes =
                 List.exists
-                  (fun o -> Types.op_key o = key && Types.is_write o)
+                  (fun o -> Types.key_eq (Types.op_key o) key && Types.is_write o)
                   ost.t_ops
               in
               let conflicts =
@@ -368,7 +368,7 @@ let client_handle c ~src msg =
     (match Hashtbl.find_opt c.inflight pa_wire with
      | Some f
        when f.f_phase = Preaccepting && pa_round = f.f_round
-            && not (List.mem src f.f_replied) ->
+            && not (Types.mem_node src f.f_replied) ->
        f.f_replied <- src :: f.f_replied;
        List.iter
          (fun d -> if not (List.mem d f.f_deps) then f.f_deps <- d :: f.f_deps)
@@ -378,7 +378,7 @@ let client_handle c ~src msg =
      | Some _ | None -> ())
   | Commit_reply { c_wire; c_results } ->
     (match Hashtbl.find_opt c.inflight c_wire with
-     | Some f when f.f_phase = Committing && not (List.mem src f.f_creplied) ->
+     | Some f when f.f_phase = Committing && not (Types.mem_node src f.f_creplied) ->
        f.f_creplied <- src :: f.f_creplied;
        f.f_results <- List.rev_append c_results f.f_results;
        f.f_awaiting <- f.f_awaiting - 1;
@@ -417,7 +417,7 @@ let cancel c txn =
   | Some f ->
     List.iter
       (fun server ->
-        if not (List.mem server f.f_creplied) then
+        if not (Types.mem_node server f.f_creplied) then
           c.cctx.send ~dst:server (Commit { c_wire = f.f_wire; c_deps = f.f_deps }))
       f.f_participants;
     `Keep_waiting

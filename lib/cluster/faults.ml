@@ -48,8 +48,9 @@ let none =
   }
 
 let is_none s =
+  (* ncc-lint: allow R8 — exact zero sentinel on configured probabilities, not simulated time *)
   s.drop = 0.0 && s.duplicate = 0.0 && s.delay_prob = 0.0
-  && s.partitions = [] && s.crashes = []
+  && List.is_empty s.partitions && List.is_empty s.crashes
 
 let partitioned s ~now ~a ~b =
   List.exists

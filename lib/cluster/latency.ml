@@ -38,4 +38,9 @@ let asymmetric rng topo ~min_one_way ~max_one_way ~jitter_mean =
       table.(b).(a) <- d
     done
   done;
-  { base = (fun src dst -> if src = dst then 0.0 else table.(src).(dst)); jitter_mean }
+  {
+    base =
+      (fun src dst ->
+        if Kernel.Types.node_eq src dst then 0.0 else table.(src).(dst));
+    jitter_mean;
+  }

@@ -198,6 +198,7 @@ let install_crashes t =
             let node = t.nodes.(c.cr_node) in
             (* Overlapping crash windows: only the restart matching the
                latest window end actually brings the node back. *)
+            (* ncc-lint: allow R8 — window-end check carries an explicit 1e-12 tolerance *)
             if Sim.Engine.now t.net_engine >= node.down_until -. 1e-12 then
               restart t c.cr_node)
       end)

@@ -14,3 +14,18 @@ type op =
 val op_key : op -> key
 val is_write : op -> bool
 val pp_op : op Fmt.t
+
+(** Dedicated comparators (determinism lint R7): always compare keys
+    and node ids through these, never with polymorphic [=]. *)
+val key_eq : key -> key -> bool
+
+val node_eq : node_id -> node_id -> bool
+val node_compare : node_id -> node_id -> int
+val mem_key : key -> key list -> bool
+val mem_node : node_id -> node_id list -> bool
+
+(** [List.assoc] / [List.mem_assoc] with the node comparator pinned;
+    [assoc_node] raises [Not_found] like [List.assoc]. *)
+val assoc_node : node_id -> (node_id * 'a) list -> 'a
+
+val mem_assoc_node : node_id -> (node_id * 'a) list -> bool

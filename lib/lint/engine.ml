@@ -17,6 +17,10 @@ type finding = {
   rule : string;
   severity : Rules.severity;
   message : string;
+  chain : string list;
+      (* evidence trail for interprocedural findings (R9): the call
+         chain from the entry point to the effect site; [] for
+         single-site findings *)
 }
 
 let compare_findings a b =
@@ -55,7 +59,7 @@ let match_path rules path =
       | Rules.Forbid_prefixes ps ->
         List.exists (fun p -> has_prefix ~prefix:p path) ps
       | Rules.Forbid_idents ids -> List.mem path ids
-      | Rules.Toplevel_mutable | Rules.Wildcard_try -> false)
+      | Rules.Toplevel_mutable | Rules.Wildcard_try | Rules.Typed _ -> false)
     rules
 
 (* Expressions that allocate mutable state when evaluated. *)
@@ -93,18 +97,28 @@ let rec binds_variable (p : pattern) =
   | Ppat_or (a, b) -> binds_variable a || binds_variable b
   | _ -> false
 
-let run_rules ~file source =
+let run_rules ?only ~file source =
   let file = normalize file in
   let active =
     List.filter
-      (fun (r : Rules.rule) -> not (List.mem file r.allowed_files))
+      (fun (r : Rules.rule) ->
+        (not (List.mem file r.allowed_files))
+        && match only with None -> true | Some ids -> List.mem r.id ids)
       Rules.all
   in
   let found = ref [] in
   let add (r : Rules.rule) loc msg =
     let line, col = loc_pos loc in
     found :=
-      { file; line; col; rule = r.id; severity = r.severity; message = msg }
+      {
+        file;
+        line;
+        col;
+        rule = r.id;
+        severity = r.severity;
+        message = msg;
+        chain = [];
+      }
       :: !found
   in
   let check_path loc path =
@@ -208,14 +222,21 @@ let run_rules ~file source =
          rule = "parse";
          severity = Rules.Error;
          message = "cannot parse: " ^ Printexc.to_string e;
+         chain = [];
        }
        :: !found);
   !found
 
-(* Lint one compilation unit: run the rules, then apply waivers. *)
-let lint_source ~file source =
+(* Lint one compilation unit: run the syntactic rules, merge in
+   findings the typed engine produced for this file ([typed]), then
+   apply waivers to the union. [used_sites] names pragma lines the
+   typed engine already consumed (R9 effect-site waivers), so they are
+   not reported as unused. When [only] restricts the rule set, unused
+   waivers are not reported at all: a waiver for an unselected rule is
+   not dead, it is just out of scope for this run. *)
+let lint_source ?(typed = []) ?only ?(used_sites = []) ~file source =
   let file = normalize file in
-  let raw = run_rules ~file source in
+  let raw = run_rules ?only ~file source @ typed in
   let pragmas, malformed =
     List.partition_map
       (function
@@ -224,6 +245,7 @@ let lint_source ~file source =
       (Pragma.scan source)
   in
   let used = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace used l ()) used_sites;
   let kept =
     List.filter
       (fun f ->
@@ -239,36 +261,47 @@ let lint_source ~file source =
       raw
   in
   let unused =
-    List.filter_map
-      (fun (p : Pragma.t) ->
-        if Hashtbl.mem used p.line then None
-        else
-          Some
-            {
-              file;
-              line = p.line;
-              col = 0;
-              rule = "pragma";
-              severity = Rules.Warn;
-              message =
-                Printf.sprintf "unused waiver for %s (nothing to waive here)"
-                  (String.concat "," p.rules);
-            })
-      pragmas
+    if only <> None then []
+    else
+      List.filter_map
+        (fun (p : Pragma.t) ->
+          if Hashtbl.mem used p.line then None
+          else
+            Some
+              {
+                file;
+                line = p.line;
+                col = 0;
+                rule = "pragma";
+                severity = Rules.Warn;
+                message =
+                  Printf.sprintf "unused waiver for %s (nothing to waive here)"
+                    (String.concat "," p.rules);
+                chain = [];
+              })
+        pragmas
   in
   let bad =
     List.map
       (fun (line, msg) ->
-        { file; line; col = 0; rule = "pragma"; severity = Rules.Error; message = msg })
+        {
+          file;
+          line;
+          col = 0;
+          rule = "pragma";
+          severity = Rules.Error;
+          message = msg;
+          chain = [];
+        })
       malformed
   in
   List.sort compare_findings (kept @ unused @ bad)
 
-let lint_file path =
+let lint_file ?typed ?only ?used_sites path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let source = really_input_string ic n in
   close_in ic;
-  lint_source ~file:path source
+  lint_source ?typed ?only ?used_sites ~file:path source
 
 let errors findings = List.filter (fun f -> f.severity = Rules.Error) findings

@@ -1,0 +1,21 @@
+(* Waiver pragmas: [(* ncc-lint: allow R3,R5 — reason *)] comments
+   that exempt one site from named rules. The reason is mandatory and
+   the rule ids must be known; anything else parses as [Malformed] and
+   becomes an error-severity finding. *)
+
+type t = {
+  line : int;  (* 1-based line the pragma appears on *)
+  rules : string list;
+  reason : string;
+}
+
+type parsed =
+  | Pragma of t
+  | Malformed of { line : int; msg : string }
+
+(* All pragmas (and malformed pragma attempts) in a source buffer. *)
+val scan : string -> parsed list
+
+(* Does a pragma on [p.line] cover a finding of [rule] on [line]?
+   Same line (trailing comment) or the line below (comment above). *)
+val covers : t -> rule:string -> line:int -> bool

@@ -5,7 +5,11 @@ let human ppf (f : Engine.finding) =
   Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" f.Engine.file f.Engine.line
     f.Engine.col f.Engine.rule
     (Rules.severity_to_string f.Engine.severity)
-    f.Engine.message
+    f.Engine.message;
+  match f.Engine.chain with
+  | [] -> ()
+  | chain ->
+    Format.fprintf ppf "@.    call chain: %s" (String.concat " -> " chain)
 
 let print_human ppf findings =
   List.iter (fun f -> Format.fprintf ppf "%a@." human f) findings;
@@ -32,12 +36,21 @@ let json_escape s =
   Buffer.contents b
 
 let json_finding (f : Engine.finding) =
+  let chain =
+    match f.Engine.chain with
+    | [] -> ""
+    | c ->
+      Printf.sprintf {|,"chain":[%s]|}
+        (String.concat ","
+           (List.map (fun s -> Printf.sprintf {|"%s"|} (json_escape s)) c))
+  in
   Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"%s}|}
     (json_escape f.Engine.file) f.Engine.line f.Engine.col
     (json_escape f.Engine.rule)
     (Rules.severity_to_string f.Engine.severity)
     (json_escape f.Engine.message)
+    chain
 
 let print_json ppf findings =
   Format.fprintf ppf "{\"findings\":[%s],\"errors\":%d}@."

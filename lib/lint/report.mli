@@ -1,0 +1,10 @@
+(* Finding reporters: a human [file:line:col: [rule/severity] message]
+   form (R9 findings get a "call chain:" continuation line) and a JSON
+   form ({"findings":[...],"errors":n}; R9 findings carry a "chain"
+   array). *)
+
+val human : Format.formatter -> Engine.finding -> unit
+val print_human : Format.formatter -> Engine.finding list -> unit
+
+val json_finding : Engine.finding -> string
+val print_json : Format.formatter -> Engine.finding list -> unit

@@ -18,13 +18,36 @@
      R6  no exception-swallowing [with _ ->]: a swallowed exception
          turns a deterministic crash into a silent divergence.
 
+   The typed rules R7-R10 run on the compiler's typedtree (.cmt files,
+   see Typed_engine) and catch what the parsetree cannot see:
+
+     R7  polymorphic structural equality/compare/hash applied at a
+         type that must use its owning module's comparator (Ts.t and
+         friends), or that contains floats, functions or hash-ordered
+         containers;
+     R8  float equality on simulated-time values, and float ordering
+         directly against a raw clock read — use a tolerance, or the
+         integer-nanosecond path (Sim.Clock.read_ns);
+     R9  interprocedural effect reachability: no path from a
+         Protocol.S handler entry point to an ambient effect
+         (randomness, wall clock, I/O, top-level mutation);
+     R10 protocol [msg] constructor liveness: a constructor never
+         built or never matched is a dead protocol message.
+
    A rule names either forbidden identifier prefixes or exact forbidden
-   identifiers, or selects one of two structural checks (top-level
-   mutable state, wildcard exception handlers). [allowed_files] lists
-   repo-relative paths exempt from the rule; everything else needs a
-   per-site waiver pragma carrying a reason (see Pragma). *)
+   identifiers, selects one of two structural checks (top-level
+   mutable state, wildcard exception handlers), or selects one of the
+   typed checks. [allowed_files] lists repo-relative paths exempt from
+   the rule; everything else needs a per-site waiver pragma carrying a
+   reason (see Pragma). *)
 
 type severity = Error | Warn
+
+type typed_check =
+  | Poly_compare  (* R7 *)
+  | Float_time    (* R8 *)
+  | Handler_effects  (* R9 *)
+  | Msg_liveness  (* R10 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -35,6 +58,9 @@ type matcher =
       (* ref / Hashtbl.create / Buffer.create / array literals ...
          evaluated at module-initialisation time *)
   | Wildcard_try  (* [try ... with _ ->] / [match ... with exception _ ->] *)
+  | Typed of typed_check
+      (* semantic check over the typedtree; ignored by the parsetree
+         engine, dispatched by Typed_engine *)
 
 type rule = {
   id : string;
@@ -117,8 +143,113 @@ let all : rule list =
       matcher = Wildcard_try;
       allowed_files = [];
     };
+    {
+      id = "R7";
+      severity = Error;
+      summary =
+        "polymorphic equality/compare/hash at a type that needs its own \
+         comparator";
+      matcher = Typed Poly_compare;
+      allowed_files = [];
+    };
+    {
+      id = "R8";
+      severity = Error;
+      summary =
+        "float comparison on simulated time; use a tolerance or the integer \
+         Clock.read_ns path";
+      matcher = Typed Float_time;
+      allowed_files = [];
+    };
+    {
+      id = "R9";
+      severity = Error;
+      summary = "protocol handler can reach an ambient effect";
+      matcher = Typed Handler_effects;
+      allowed_files = [];
+    };
+    {
+      id = "R10";
+      severity = Error;
+      summary = "dead protocol message constructor";
+      matcher = Typed Msg_liveness;
+      allowed_files = [];
+    };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
 
 let known_ids = List.map (fun r -> r.id) all
+
+(* --- registries the typed rules key on (data, like the rule table) --- *)
+
+(* R7: the polymorphic functions whose instantiation type is checked.
+   Paths are matched after normalisation (module aliases such as
+   [Stdlib__List] canonicalised, a leading [Stdlib.] stripped). *)
+let poly_compare_fns =
+  [ "="; "<>"; "compare"; "Hashtbl.hash"; "List.mem"; "List.assoc";
+    "List.mem_assoc" ]
+
+(* R7: nominal types owned by a module that exports the comparator to
+   use instead. Matched by path suffix, so both [Kernel.Ts.t] and a
+   locally defined [Ts.t] hit the first entry. *)
+let owned_types =
+  [
+    ("Ts.t", "Ts.equal / Ts.compare");
+    ("Types.node_id", "Int.equal");
+    ("Types.key", "Int.equal");
+  ]
+
+(* R7: containers whose structural comparison depends on hashing /
+   internal layout rather than contents. *)
+let hash_containers = [ "Hashtbl.t"; "Detmap.t" ]
+
+(* R8: functions returning raw simulated-time floats (seconds).
+   Ordering a direct read against a float is flagged; the integer
+   nanosecond path (Clock.read_ns) and pre-computed deadlines are not. *)
+let time_sources = [ "Sim.Engine.now"; "Engine.now"; "Sim.Clock.read"; "Clock.read" ]
+
+(* R9: Protocol.S entry points (plus the bare [handle] convention used
+   by the concrete server/client/replica modules). Only definitions in
+   files under these roots count as entry points. *)
+let entry_points =
+  [ "server_handle"; "client_handle"; "replica_handle"; "submit"; "cancel";
+    "handle" ]
+
+let entry_roots = [ "lib/" ]
+
+(* R9: ambient I/O — reads of or writes to the process's real
+   environment. Named after normalisation, like [poly_compare_fns]. *)
+let io_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "read_line"; "read_int";
+    "input_line"; "input_char"; "output_string"; "output_value";
+    "open_in"; "open_in_bin"; "open_out"; "open_out_bin";
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Sys.command"; "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv";
+  ]
+
+(* R9: functions that mutate their first argument in place; applying
+   one to a module-global value is an ambient top-level mutation. *)
+let mutator_fns =
+  [
+    ":="; "incr"; "decr";
+    "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.clear"; "Buffer.reset";
+    "Queue.add"; "Queue.push"; "Queue.pop"; "Queue.take"; "Queue.clear";
+    "Stack.push"; "Stack.pop"; "Stack.clear";
+  ]
+
+(* R9 effect categories map onto the per-file allowlists of the
+   syntactic rule that polices the same thing directly: Sim.Rng may
+   touch Random (R1), Sim.Trace may mutate its own globals (R5). *)
+let effect_allowed_files = function
+  | `Random -> (match find "R1" with Some r -> r.allowed_files | None -> [])
+  | `Mutation -> (match find "R5" with Some r -> r.allowed_files | None -> [])
+  | `Clock | `Io -> []
+
+(* R10: variant types with this name are protocol message types. *)
+let msg_type_name = "msg"

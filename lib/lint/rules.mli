@@ -1,0 +1,60 @@
+(* The determinism rule set R1-R10, encoded as data, plus the
+   registries the typed rules key on. docs/determinism.md is the
+   prose counterpart. *)
+
+type severity = Error | Warn
+
+(* Which typed (cmt-based) check a [Typed _] rule dispatches to; the
+   parsetree engine ignores these, Typed_engine implements them. *)
+type typed_check =
+  | Poly_compare  (* R7 *)
+  | Float_time  (* R8 *)
+  | Handler_effects  (* R9 *)
+  | Msg_liveness  (* R10 *)
+
+type matcher =
+  | Forbid_prefixes of string list
+  | Forbid_idents of string list
+  | Toplevel_mutable
+  | Wildcard_try
+  | Typed of typed_check
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;
+  matcher : matcher;
+  allowed_files : string list;
+      (* repo-relative paths exempt from the rule without a waiver *)
+}
+
+val severity_to_string : severity -> string
+
+val all : rule list
+val find : string -> rule option
+val known_ids : string list
+
+(* R7: polymorphic functions whose instantiation type is checked, and
+   what they must not be instantiated at. [owned_types] maps a type
+   path suffix to the comparator to recommend. *)
+val poly_compare_fns : string list
+val owned_types : (string * string) list
+val hash_containers : string list
+
+(* R8: functions returning raw simulated-time floats. *)
+val time_sources : string list
+
+(* R9: Protocol.S handler entry points, the source roots in which a
+   definition counts as an entry, the ambient-I/O and in-place-mutator
+   function registries, and the per-category file allowlists (shared
+   with the syntactic rules policing the same effect directly). *)
+val entry_points : string list
+val entry_roots : string list
+val io_fns : string list
+val mutator_fns : string list
+
+val effect_allowed_files :
+  [ `Random | `Clock | `Io | `Mutation ] -> string list
+
+(* R10: variant types with this name are protocol message types. *)
+val msg_type_name : string

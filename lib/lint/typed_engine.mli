@@ -1,0 +1,34 @@
+(* The type-aware analysis engine: rules R7-R10 over the compiler's
+   typedtree, loaded from the .cmt files dune produces. Findings are
+   Engine.finding values so the waiver and reporter machinery applies
+   unchanged; R9 findings carry the call chain from the handler entry
+   point to the effect site in [Engine.finding.chain].
+
+   The analyses are whole-program over the loaded unit set: R9 builds
+   a cross-module call graph, R10 tallies [msg] constructor uses
+   everywhere. Lint the full tree, or expect liveness noise. *)
+
+type unit_info = {
+  u_name : string;  (* canonical module path, e.g. "Ncc.Server" *)
+  u_file : string;  (* repo-relative source path *)
+  u_str : Typedtree.structure;
+  u_source : string option;  (* for R9 effect-site waivers *)
+}
+
+(* Analyse a set of units. Returns the findings (sorted) and the
+   effect-site waiver pragmas R9 consumed, as (file, pragma line)
+   pairs — pass these to [Engine.lint_source ~used_sites] so they are
+   not reported as unused. [only] restricts to the given rule ids. *)
+val lint_units :
+  ?only:string list -> unit_info list -> Engine.finding list * (string * int) list
+
+(* Load the given .cmt files (interface-only and unreadable ones
+   surface as findings with pseudo-rule "cmt"; dune's generated
+   library-wrapper shims are skipped) and analyse them. *)
+val lint_cmts :
+  ?only:string list -> string list -> Engine.finding list * (string * int) list
+
+(* Typecheck one implementation against the compiler's initial
+   environment (stdlib only) and wrap it as a unit — how the fixture
+   tests exercise R7-R10 without a build tree. *)
+val check_impl : file:string -> string -> (unit_info, string) result

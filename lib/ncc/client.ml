@@ -165,9 +165,9 @@ let send_shot t f shot =
   in
   List.iter
     (fun (server, ops) ->
-      if not (List.mem server f.f_contacted) then
+      if not (Types.mem_node server f.f_contacted) then
         f.f_contacted <- server :: f.f_contacted;
-      if not (List.mem server f.f_participants) then
+      if not (Types.mem_node server f.f_participants) then
         f.f_participants <- f.f_participants @ [ server ];
       let sent =
         List.length ops
@@ -316,7 +316,7 @@ let handle_exec_reply t (r : Msg.exec_reply) =
   match Hashtbl.find_opt t.inflight r.e_wire with
   | None -> ()
   | Some f when f.f_phase <> Executing -> ()
-  | Some f when r.e_round <> f.f_round || List.mem r.e_server f.f_replied ->
+  | Some f when r.e_round <> f.f_round || Types.mem_node r.e_server f.f_replied ->
     () (* stale round, or a duplicate delivery of this round's reply *)
   | Some f ->
     f.f_replied <- r.e_server :: f.f_replied;
@@ -331,7 +331,7 @@ let handle_retry_reply t ~wire ~server ~ok =
   match Hashtbl.find_opt t.inflight wire with
   | None -> ()
   | Some f when f.f_phase <> Retrying -> ()
-  | Some f when List.mem server f.f_sr_replied -> () (* duplicate delivery *)
+  | Some f when Types.mem_node server f.f_sr_replied -> () (* duplicate delivery *)
   | Some f ->
     f.f_sr_replied <- server :: f.f_sr_replied;
     if not ok then f.f_sr_ok <- false;

@@ -437,7 +437,7 @@ let find_or_create_txn t ~src (x : Msg.exec) =
      | Some timeout ->
        t.ctx.timer ~delay:timeout (fun () ->
            if Hashtbl.mem t.txns x.x_wire then
-             if t.ctx.self = r.tr_backup then
+             if Types.node_eq t.ctx.self r.tr_backup then
                t.ctx.send ~dst:t.ctx.self
                  (Msg.Recover_nudge { rn_wire = x.x_wire; rn_cohorts = r.tr_cohorts })
              else
@@ -504,7 +504,7 @@ let exec_read_write t ~src (x : Msg.exec) =
           let rec later i =
             i < Array.length ops_arr
             && (match ops_arr.(i) with
-                | Types.Write (k', _) when k' = k -> true
+                | Types.Write (k', _) when Types.key_eq k' k -> true
                 | Types.Read _ | Types.Write _ -> later (i + 1))
           in
           later (slot + 1)
@@ -677,7 +677,10 @@ let answer_recover_query t ~src ~wire =
 let handle_recover_info t ~wire (info : rinfo) =
   match Hashtbl.find_opt t.recovering wire with
   | None -> ()
-  | Some st when List.exists (fun i -> i.rf_server = info.rf_server) st.rc_infos
+  | Some st
+    when List.exists
+           (fun i -> Types.node_eq i.rf_server info.rf_server)
+           st.rc_infos
     ->
     () (* duplicate delivery of a cohort's answer *)
   | Some st ->

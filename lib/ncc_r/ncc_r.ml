@@ -184,7 +184,10 @@ let make_replica cfg timeouts (ctx : msg Cluster.Net.ctx) =
   let self = ctx.Cluster.Net.self in
   let leader = Cluster.Topology.leader_of_replica topo self in
   let peers =
-    leader :: List.filter (fun r -> r <> self) (Cluster.Topology.replicas_of topo leader)
+    leader
+    :: List.filter
+         (fun r -> not (Kernel.Types.node_eq r self))
+         (Cluster.Topology.replicas_of topo leader)
   in
   (* the shadow state machine executes committed commands but talks to
      nobody: every outgoing message is dropped *)

@@ -157,7 +157,7 @@ let propose t cmd =
   if t.role <> Leader then invalid_arg "Raft.propose: not the leader";
   Vec.add_last t.log { e_term = t.term; e_cmd = cmd };
   let idx = last_index t in
-  if t.peers = [] then begin
+  if List.is_empty t.peers then begin
     (* singleton group: commit immediately *)
     t.commit_index <- idx;
     apply_committed t
@@ -173,7 +173,7 @@ let start_election t =
   t.voted_for <- Some t.self;
   t.voters <- [ t.self ];
   t.last_heard <- t.clock;
-  if t.peers = [] then become_leader t
+  if List.is_empty t.peers then become_leader t
   else
     List.iter
       (fun dst ->
@@ -197,7 +197,10 @@ let handle_request_vote t ~src ~rv_term ~rv_last_index ~rv_last_term =
   let granted =
     rv_term = t.term
     && up_to_date
-    && (t.voted_for = None || t.voted_for = Some src)
+    &&
+    match t.voted_for with
+    | None -> true
+    | Some v -> Kernel.Types.node_eq v src
   in
   if granted then begin
     t.voted_for <- Some src;
@@ -209,7 +212,8 @@ let handle_vote t ~src ~v_term ~v_granted =
   if v_term > t.term then become_follower t v_term
   else if
     t.role = Candidate && v_term = t.term && v_granted
-    && not (List.mem src t.voters)  (* a duplicated Vote is one vote *)
+    && not (Kernel.Types.mem_node src t.voters)
+    (* a duplicated Vote is one vote *)
   then begin
     t.voters <- src :: t.voters;
     let majority = ((List.length t.peers + 1) / 2) + 1 in

@@ -13,6 +13,7 @@ let make ~offset ~drift = { offset; drift }
    drift uniform in [-max_drift, max_drift] (drift in s/s, e.g. 1e-5 =
    10 microseconds per second). *)
 let random rng ~max_offset ~max_drift =
+  (* ncc-lint: allow R8 — degenerate-config guard on a configured bound, not a time value *)
   let sym r bound = if bound = 0.0 then 0.0 else Rng.float r (2.0 *. bound) -. bound in
   { offset = sym rng max_offset; drift = sym rng max_drift }
 

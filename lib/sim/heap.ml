@@ -16,6 +16,7 @@ let create () = { data = [||]; size = 0; next_seq = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* ncc-lint: allow R8 — exact float tie falls through to the seq tie-breaker; a tolerance would reorder distinct deadlines *)
 let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
 let grow t =

@@ -23,7 +23,7 @@ let ops_by_server_groups () =
   let grouped = Cluster.Topology.ops_by_server topo ops in
   Alcotest.(check int) "three servers involved" 3 (List.length grouped);
   (* per-server op order preserved: key 0 before key 4 on server 0 *)
-  let s0 = List.assoc 0 grouped in
+  let s0 = Types.assoc_node 0 grouped in
   Alcotest.(check (list int)) "server0 order" [ 0; 4 ] (List.map Types.op_key s0)
 
 let latency_positive =
@@ -80,7 +80,7 @@ let net_cpu_queueing () =
     Cluster.Net.send net ~src:4 ~dst:0 ()
   done;
   Sim.Engine.run engine;
-  let times = List.sort compare !done_times in
+  let times = List.sort Float.compare !done_times in
   Alcotest.(check int) "all served" 3 (List.length times);
   (match times with
    | [ t1; t2; t3 ] ->

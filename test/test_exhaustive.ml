@@ -73,7 +73,7 @@ let run_schedule ~cfg ~txns (fates : fate array) =
   (* dropped messages strand attempts; a per-attempt timeout cancels
      and (via the report callback below) resubmits, like the harness *)
   let rec submit_txn client_id txn =
-    let c = List.assoc client_id !clients in
+    let c = Types.assoc_node client_id !clients in
     let id = txn.Txn.id in
     let a = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts id) in
     Hashtbl.replace attempts id a;

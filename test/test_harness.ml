@@ -114,7 +114,9 @@ let testbed_basics () =
      Alcotest.(check int) "one outcome" 1 !outcomes;
      let orders = bed.Harness.Testbed.version_orders () in
      Alcotest.(check bool) "version recorded" true
-       (List.exists (fun (k, vids) -> k = 1 && List.length vids = 2) orders)
+       (List.exists
+          (fun (k, vids) -> Kernel.Types.key_eq k 1 && List.length vids = 2)
+          orders)
    | [] -> Alcotest.fail "no clients");
   Alcotest.(check_raises) "submit from a server is rejected"
     (Invalid_argument "Testbed.submit: not a client node") (fun () ->
@@ -145,7 +147,7 @@ let ncc_server_liveness =
           clock = Sim.Clock.perfect;
           send =
             (fun ~dst msg ->
-              if dst = 0 then
+              if Kernel.Types.node_eq dst 0 then
                 Sim.Engine.schedule engine ~delay:1e-5 (fun () ->
                     Ncc.Server.handle (Option.get !server_ref) ~src:0 msg)
               else

@@ -106,7 +106,7 @@ let pragma_machinery () =
     (kw ^ " allow R5 *)\nlet a = ref 0\n");
   check_sites "unknown rule id is an error"
     [ ("fixture.ml", 1, "pragma"); ("fixture.ml", 2, "R5") ]
-    (kw ^ " allow R9 - no such rule *)\nlet a = ref 0\n");
+    (kw ^ " allow R42 - no such rule *)\nlet a = ref 0\n");
   check_sites "unused waiver is reported"
     [ ("fixture.ml", 1, "pragma") ]
     (kw ^ " allow R1 - nothing here uses Random *)\nlet a = 1\n");

@@ -21,5 +21,6 @@ let () =
       ("interactive", Test_interactive.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
+      ("typed-lint", Test_typed_lint.suite);
       ("e2e", Test_e2e.suite);
     ]

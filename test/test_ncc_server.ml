@@ -27,7 +27,7 @@ let mk_rig ?(cfg = Msg.default_config) () =
       clock = Sim.Clock.perfect;
       send =
         (fun ~dst msg ->
-          if dst = 0 then
+          if Kernel.Types.node_eq dst 0 then
             (* loopback for recovery traffic *)
             Sim.Engine.schedule engine ~delay:1e-4 (fun () ->
                 Server.handle (Option.get !server_ref) ~src:0 msg)

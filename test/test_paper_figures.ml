@@ -129,7 +129,7 @@ let fig2_schedule_docc () =
         (id, c))
       (Cluster.Topology.clients rig.topo)
   in
-  let submit id txn = D.submit (List.assoc id clients) txn in
+  let submit id txn = D.submit (Types.assoc_node id clients) txn in
   (* key 0 -> server 0 (A), key 1 -> server 1 (B) *)
   at rig 0.0010 (fun () ->
       submit 2 (Txn.make ~label:"tx2" ~client:2 [ [ Types.Read 0; Types.Read 1 ] ]));
@@ -160,7 +160,7 @@ let fig2a_docc_falsely_aborts () =
 let fig2c_ncc_commits_both () =
   let rig = mk_rig () in
   let _, clients, outcomes = wire_ncc rig in
-  let submit id txn = Ncc.Client.submit (List.assoc id clients) txn in
+  let submit id txn = Ncc.Client.submit (Types.assoc_node id clients) txn in
   at rig 0.0010 (fun () ->
       submit 2 (Txn.make ~label:"tx2" ~client:2 [ [ Types.Read 0; Types.Read 1 ] ]));
   at rig 0.00105 (fun () ->
@@ -181,12 +181,13 @@ let fig3a_schedule ~async_aware =
   (rig.delay :=
      fun src dst ->
        (* node 2 <-> server 1 is the slow path *)
-       if (src = 2 && dst = 1) || (src = 1 && dst = 2) then 1e-3 else 1e-4);
+       if (Types.node_eq src 2 && Types.node_eq dst 1)
+       || (Types.node_eq src 1 && Types.node_eq dst 2) then 1e-3 else 1e-4);
   let cfg =
     { Ncc.Msg.default_config with smart_retry = false; async_aware; use_ro = false }
   in
   let _, clients, outcomes = wire_ncc ~cfg rig in
-  let submit id txn = Ncc.Client.submit (List.assoc id clients) txn in
+  let submit id txn = Ncc.Client.submit (Types.assoc_node id clients) txn in
   (* warmup so client 2 can learn its asynchrony to server 1 *)
   at rig 0.001 (fun () ->
       submit 2 (Txn.make ~label:"warmup" ~client:2 [ [ Types.Read 1 ] ]));
@@ -217,7 +218,8 @@ let fig3c_smart_retry_rescues () =
   let rig = mk_rig () in
   (rig.delay :=
      fun src dst ->
-       if (src = 2 && dst = 1) || (src = 1 && dst = 2) then 1e-3 else 1e-4);
+       if (Types.node_eq src 2 && Types.node_eq dst 1)
+       || (Types.node_eq src 1 && Types.node_eq dst 2) then 1e-3 else 1e-4);
   (* same schedule as 3a, plain timestamps, but smart retry enabled *)
   let cfg =
     {
@@ -228,7 +230,7 @@ let fig3c_smart_retry_rescues () =
     }
   in
   let _, clients, outcomes = wire_ncc ~cfg rig in
-  let submit id txn = Ncc.Client.submit (List.assoc id clients) txn in
+  let submit id txn = Ncc.Client.submit (Types.assoc_node id clients) txn in
   at rig 0.0100 (fun () ->
       submit 2 (Txn.make ~label:"tx1" ~client:2 [ [ Types.Write (0, 1); Types.Write (1, 2) ] ]));
   at rig 0.0101 (fun () ->
@@ -258,10 +260,11 @@ let inversion_schedule ~rtc =
   (rig.delay :=
      fun src dst ->
        (* tx1's client <-> server 1 (key B) is the slow path *)
-       if (src = 2 && dst = 1) || (src = 1 && dst = 2) then 10e-3 else 1e-4);
+       if (Types.node_eq src 2 && Types.node_eq dst 1)
+       || (Types.node_eq src 1 && Types.node_eq dst 2) then 10e-3 else 1e-4);
   let cfg = { Ncc.Msg.default_config with rtc; use_ro = false } in
   let servers, clients, outcomes = wire_ncc ~cfg rig in
-  let submit id txn = Ncc.Client.submit (List.assoc id clients) txn in
+  let submit id txn = Ncc.Client.submit (Types.assoc_node id clients) txn in
   let chk = Checker.Rsg.create () in
   let starts = Hashtbl.create 8 in
   let submit_tracked id txn =

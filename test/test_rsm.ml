@@ -23,12 +23,19 @@ let make_group ?(n = 3) ?(leader = Some 0) () =
   let rafts =
     Array.init n (fun i ->
         Rsm.Raft.create ~self:i
-          ~peers:(List.filter (fun j -> j <> i) (List.init n Fun.id))
+          ~peers:
+            (List.filter
+               (fun j -> not (Kernel.Types.node_eq j i))
+               (List.init n Fun.id))
           ~send:(send i)
           ~timer:(fun ~delay f -> Sim.Engine.schedule engine ~delay f)
           ~rng:(Sim.Rng.create (100 + i))
           ~on_commit:(fun ~index cmd -> applied.(i) := (index, cmd) :: !(applied.(i)))
-          ~initial_leader:(leader = Some i) ())
+          ~initial_leader:
+            (match leader with
+             | Some l -> Kernel.Types.node_eq l i
+             | None -> false)
+          ())
   in
   rafts_ref := rafts;
   { engine; rafts; applied; blocked }
@@ -400,12 +407,12 @@ let failover_via_fault_plane () =
     Array.init 3 (fun i ->
         let ctx = Cluster.Net.ctx net i in
         Rsm.Raft.create ~self:i
-          ~peers:(List.filter (fun j -> j <> i) [ 0; 1; 2 ])
+          ~peers:(List.filter (fun j -> not (Kernel.Types.node_eq j i)) [ 0; 1; 2 ])
           ~send:(fun ~dst m -> ctx.Cluster.Net.send ~dst m)
           ~timer:ctx.Cluster.Net.timer
           ~rng:(Sim.Rng.create (100 + i))
           ~on_commit:(fun ~index:_ cmd -> applied.(i) := cmd :: !(applied.(i)))
-          ~initial_leader:(i = 0) ())
+          ~initial_leader:(Kernel.Types.node_eq i 0) ())
   in
   Array.iteri
     (fun i r ->

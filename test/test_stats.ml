@@ -6,7 +6,7 @@ let percentile_close_to_exact =
     (fun samples ->
       let h = Stats.Hist.create () in
       List.iter (Stats.Hist.add h) samples;
-      let sorted = List.sort compare samples in
+      let sorted = List.sort Float.compare samples in
       let n = List.length sorted in
       let exact q = List.nth sorted (min (n - 1) (int_of_float (q *. float_of_int n))) in
       List.for_all

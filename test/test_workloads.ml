@@ -107,7 +107,7 @@ let tpcc_new_order_rmw () =
       (* every new-order both reads and writes its district row *)
       let reads = Txn.read_keys t and writes = Txn.write_keys t in
       Alcotest.(check bool) "district RMW present" true
-        (List.exists (fun k -> List.mem k writes) reads))
+        (List.exists (fun k -> Types.mem_key k writes) reads))
     no
 
 let unique_write_values () =
