@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by `ncc_sim trace`.
+
+Checks the properties downstream viewers (Perfetto, chrome://tracing)
+and our own diffing rely on: the file parses, is non-trivially
+populated, timestamps are sorted and non-negative, span events are
+well-formed, and async begin/end pairs balance per (cat, id).
+
+Usage: validate_trace.py trace.json [more.json ...]
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    sys.exit(1)
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "no traceEvents array")
+
+    spans = [e for e in events if e.get("ph") != "M"]
+    meta = [e for e in events if e.get("ph") == "M"]
+    if len(spans) < 10:
+        fail(path, f"suspiciously empty trace ({len(spans)} span events)")
+    if not any(e.get("name") == "thread_name" for e in meta):
+        fail(path, "no thread_name metadata (node tracks missing)")
+
+    last_ts = -1.0
+    open_async = {}  # (cat, id) -> depth
+    n_complete = n_async = 0
+    for e in spans:
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, f"bad ts in {e}")
+        if ts < last_ts:
+            fail(path, f"timestamps not sorted: {ts} after {last_ts}")
+        last_ts = ts
+        ph = e.get("ph")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                fail(path, f"complete span with bad dur: {e}")
+            n_complete += 1
+        elif ph in ("b", "e"):
+            key = (e.get("cat"), e.get("id"))
+            if key[0] is None or key[1] is None:
+                fail(path, f"async event without cat/id: {e}")
+            d = open_async.get(key, 0) + (1 if ph == "b" else -1)
+            if d < 0:
+                fail(path, f"async end without begin for {key}")
+            open_async[key] = d
+            n_async += 1
+        elif ph != "i":
+            fail(path, f"unexpected phase {ph!r} in {e}")
+
+    still_open = sum(d for d in open_async.values())
+    print(
+        f"{path}: OK: {len(spans)} span events "
+        f"({n_complete} complete, {n_async} async, {still_open} open at horizon)"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for p in sys.argv[1:]:
+        validate(p)

@@ -17,52 +17,94 @@ let scale () = if !quick then Experiments.quick_scale else Experiments.full_scal
    roughly half the load of the full one (8 servers). *)
 let adj loads = if !quick then List.map (fun l -> l /. 2.0) loads else loads
 
+(* Each experiment also returns its runs as BENCH_*.json rows (the
+   tables printed to stdout stay the human-readable face). *)
+let sweep_rows fig data =
+  List.concat_map
+    (fun (pname, points) ->
+      List.map
+        (fun (load, r) ->
+          Harness.Report.bench_row
+            ~experiment:(Printf.sprintf "%s:%s@%.0f" fig pname load)
+            r)
+        points)
+    data
+
+let labeled_rows fig data =
+  List.map
+    (fun (label, r) ->
+      Harness.Report.bench_row ~experiment:(fig ^ ":" ^ label) r)
+    data
+
 let fig6a () =
-  ignore
-    (Experiments.fig6a ~scale:(scale ())
-       ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
-       ());
-  ignore
-    (Experiments.ncc_internals ~scale:(scale ())
-       ~load:(if !quick then 8_000. else 15_000.)
-       ())
+  let rows =
+    sweep_rows "fig6a"
+      (Experiments.fig6a ~scale:(scale ())
+         ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
+         ())
+  in
+  let internals =
+    Experiments.ncc_internals ~scale:(scale ())
+      ~load:(if !quick then 8_000. else 15_000.)
+      ()
+  in
+  rows @ [ Harness.Report.bench_row ~experiment:"internals:NCC" internals ]
 
 let fig6b () =
-  ignore
+  sweep_rows "fig6b"
     (Experiments.fig6b ~scale:(scale ())
        ~loads:(adj [ 4_000.; 10_000.; 18_000.; 28_000.; 40_000. ])
        ())
 
 let fig6c () =
-  ignore
+  sweep_rows "fig6c"
     (Experiments.fig6c ~scale:(scale ())
        ~loads:(adj [ 4_000.; 9_000.; 15_000.; 21_000.; 27_000. ])
        ())
 
 let fig7a () =
   let load_of name = (if !quick then 0.5 else 1.0) *. Experiments.measured_peak name in
-  ignore (Experiments.fig7a ~scale:(scale ()) ~load_of ())
+  sweep_rows "fig7a" (Experiments.fig7a ~scale:(scale ()) ~load_of ())
 
 let fig7b () =
-  ignore
+  sweep_rows "fig7b"
     (Experiments.fig7b ~scale:(scale ())
        ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
        ())
 
 let fig7c () =
-  ignore
-    (Experiments.fig7c ~scale:(scale ()) ~load:(if !quick then 6_000. else 15_000.) ())
+  labeled_rows "fig7c"
+    (List.map
+       (fun (timeout, r) -> (Printf.sprintf "timeout=%g" timeout, r))
+       (Experiments.fig7c ~scale:(scale ())
+          ~load:(if !quick then 6_000. else 15_000.)
+          ()))
 
-let fig8 () = ignore (Experiments.fig8 ~scale:(scale ()) ())
-let ablations () = ignore (Experiments.ablations ~scale:(scale ()) ())
+let fig8 () =
+  List.concat_map
+    (fun (name, ro, rw) ->
+      [
+        Harness.Report.bench_row ~experiment:("fig8:" ^ name ^ ":ro") ro;
+        Harness.Report.bench_row ~experiment:("fig8:" ^ name ^ ":rw") rw;
+      ])
+    (Experiments.fig8 ~scale:(scale ()) ())
+
+let ablations () =
+  labeled_rows "ablations" (Experiments.ablations ~scale:(scale ()) ())
 
 let replication () =
-  ignore
-    (Experiments.replication ~scale:(scale ()) ~load:(if !quick then 5_000. else 10_000.) ())
+  labeled_rows "replication"
+    (Experiments.replication ~scale:(scale ())
+       ~load:(if !quick then 5_000. else 10_000.)
+       ())
 
 let geo () =
-  ignore (Experiments.geo ~scale:(scale ()) ~load:(if !quick then 4_000. else 8_000.) ())
-let params () = Experiments.params ()
+  labeled_rows "geo"
+    (Experiments.geo ~scale:(scale ()) ~load:(if !quick then 4_000. else 8_000.) ())
+
+let params () =
+  Experiments.params ();
+  []
 
 (* --- Bechamel microbenchmarks of the core primitives ----------------- *)
 
@@ -164,7 +206,8 @@ let micro () =
           | exception e ->
             Printf.printf "%-30s (failed: %s)\n" sub (Printexc.to_string e))
         results)
-    tests
+    tests;
+  []
 
 (* --- driver ----------------------------------------------------------- *)
 
@@ -212,11 +255,22 @@ let () =
   in
   Printf.printf "NCC reproduction benchmarks (%s scale)\n"
     (if !quick then "quick" else "full");
-  List.iter
-    (fun (name, f) ->
-      (* ncc-lint: allow R2 — wall-clock times the bench harness itself *)
-      let t0 = Unix.gettimeofday () in
-      f ();
-      (* ncc-lint: allow R2 — wall-clock times the bench harness itself *)
-      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
-    selected
+  let rows =
+    List.concat_map
+      (fun (name, f) ->
+        (* ncc-lint: allow R2 — wall-clock times the bench harness itself *)
+        let t0 = Unix.gettimeofday () in
+        let rows = f () in
+        (* ncc-lint: allow R2 — wall-clock times the bench harness itself *)
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+        rows)
+      selected
+  in
+  (* Machine-readable mirror of the run: every simulated result as one
+     row, for CI artifacts and cross-run diffing. *)
+  let suite = if !quick then "quick" else "full" in
+  let path = Printf.sprintf "BENCH_%s.json" suite in
+  let oc = open_out path in
+  output_string oc (Harness.Report.bench_doc ~suite rows);
+  close_out oc;
+  Printf.printf "[wrote %s: %d rows]\n" path (List.length rows)

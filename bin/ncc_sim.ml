@@ -5,7 +5,9 @@
      ncc_sim run -p NCC --faults 7             ... under a seeded fault schedule
      ncc_sim chaos -p NCC --seeds 20           seeded chaos sweep, strict checks
      ncc_sim chaos -p NCC --replay 7           replay one chaos seed
-     ncc_sim fig fig6a [--quick]               regenerate a paper figure *)
+     ncc_sim fig fig6a [--quick]               regenerate a paper figure
+     ncc_sim trace -p NCC --out trace.json     traced run -> Chrome/Perfetto JSON
+     ncc_sim profile -p NCC                    instrumented run -> metrics JSON *)
 
 open Cmdliner
 
@@ -50,6 +52,24 @@ let figures =
     ("replication", fun ~scale -> ignore (Experiments.replication ~scale ()));
     ("geo", fun ~scale -> ignore (Experiments.geo ~scale ()));
   ]
+
+(* Case-insensitive protocol lookup ("ncc", "NCC" and "Ncc" all name
+   the same protocol), used by the observability subcommands. *)
+let protocol_conv =
+  let parse s =
+    let ls = String.lowercase_ascii s in
+    match
+      List.find_opt (fun (n, _) -> String.lowercase_ascii n = ls) protocols
+    with
+    | Some np -> Ok np
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown protocol %S (one of: %s)" s
+              (String.concat ", " (List.map fst protocols))))
+  in
+  let print ppf (n, _) = Format.pp_print_string ppf n in
+  Arg.conv (parse, print)
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -296,6 +316,144 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes)
 
+(* --- trace / profile ---------------------------------------------------- *)
+
+(* Shared arguments for the observability subcommands: a small
+   instrumented run (trace files grow with load x duration, so the
+   defaults are deliberately short — override with --load/--duration). *)
+let obs_run_args =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv ("NCC", Ncc.protocol)
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"Concurrency-control protocol (case-insensitive).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "google-f1"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let load =
+    Arg.(
+      value & opt float 2_000.0
+      & info [ "l"; "load" ] ~docv:"TXN/S" ~doc:"Offered load, transactions/second.")
+  in
+  let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Number of servers.") in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Number of clients.") in
+  let duration =
+    Arg.(
+      value & opt float 0.2
+      & info [ "duration" ] ~doc:"Measured seconds (simulated).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ]
+          ~doc:"Replica nodes per server (use 2 with NCC-R / NCC-R-def).")
+  in
+  Term.(
+    const (fun p w l s c d seed r -> (p, w, l, s, c, d, seed, r))
+    $ protocol $ workload $ load $ servers $ clients $ duration $ seed $ replicas)
+
+let obs_run (((pname : string), p), wname, load, n_servers, n_clients, duration, seed, replicas) =
+  match List.assoc_opt wname (workloads ~n_servers) with
+  | None ->
+    Printf.eprintf "unknown workload %S\n" wname;
+    exit 2
+  | Some mk ->
+    let cfg =
+      {
+        Harness.Runner.default with
+        Harness.Runner.seed;
+        n_servers;
+        n_clients;
+        offered_load = load;
+        duration;
+        warmup = 0.05;
+        drain = 0.05;
+        replicas_per_server = replicas;
+      }
+    in
+    let rec_ = Obs.Recorder.create () in
+    let mx = Obs.Metrics.create () in
+    let result = Harness.Runner.run ~label:pname ~obs:rec_ ~metrics:mx p (mk ()) cfg in
+    (result, rec_, mx)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let trace_cmd =
+  let doc =
+    "Run one instrumented simulation and write its span trace as Chrome \
+     trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or \
+     chrome://tracing. One timeline track per node; transaction lifecycle, \
+     retry back-off, message flight/queueing and handler-execution spans."
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file for the trace JSON.")
+  in
+  let timeline =
+    Arg.(
+      value & opt int 0
+      & info [ "timeline" ] ~docv:"N"
+          ~doc:"Also print the last N span events as a text timeline.")
+  in
+  let f args out timeline =
+    let result, rec_, _mx = obs_run args in
+    (* In-flight transactions at the horizon legitimately leave spans
+       open; anything else is a bug in the instrumentation. *)
+    (match Obs.Export.validate ~allow_open:true rec_ with
+     | Ok s ->
+       Printf.printf
+         "trace: %d events (%d complete spans, %d async pairs, %d open at horizon)\n"
+         s.Obs.Export.v_events s.Obs.Export.v_complete s.Obs.Export.v_async_pairs
+         s.Obs.Export.v_open
+     | Error e ->
+       Printf.eprintf "trace: INVALID: %s\n" e;
+       exit 1);
+    write_file out (Obs.Export.chrome_trace_string rec_);
+    Printf.printf
+      "wrote %s (protocol=%s committed=%d, %.0f tx/s); open in ui.perfetto.dev\n"
+      out result.Harness.Runner.protocol result.Harness.Runner.committed
+      result.Harness.Runner.throughput;
+    if Obs.Recorder.n_dropped rec_ > 0 then
+      Printf.printf "note: %d events past the recorder limit were dropped\n"
+        (Obs.Recorder.n_dropped rec_);
+    if timeline > 0 then
+      Obs.Export.timeline ~last:timeline rec_ Format.std_formatter
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const f $ obs_run_args $ out $ timeline)
+
+let profile_cmd =
+  let doc =
+    "Run one instrumented simulation and emit the run profile as JSON: the \
+     run summary plus every metrics cell (per-node counters, gauges, latency \
+     histograms with p50/p90/p99/p999)."
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the profile JSON to FILE instead of stdout.")
+  in
+  let f args out =
+    let result, _rec, mx = obs_run args in
+    let doc = Harness.Report.profile_json result mx in
+    match out with
+    | None -> print_endline doc
+    | Some path ->
+      write_file path doc;
+      Printf.printf "wrote %s (protocol=%s committed=%d)\n" path
+        result.Harness.Runner.protocol result.Harness.Runner.committed
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const f $ obs_run_args $ out)
+
 (* --- fig ---------------------------------------------------------------- *)
 
 let fig_cmd =
@@ -318,4 +476,7 @@ let fig_cmd =
 let () =
   let doc = "NCC (OSDI 2023) reproduction: simulated strictly serializable datastores" in
   let info = Cmd.info "ncc_sim" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; fig_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; chaos_cmd; fig_cmd; trace_cmd; profile_cmd ]))

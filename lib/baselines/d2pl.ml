@@ -48,6 +48,13 @@ let msg_cost (c : Harness.Cost.t) = function
   | Acquire_reply r -> Harness.Cost.server c ~ops:(List.length r.r_results) ()
   | Wound _ -> Harness.Cost.server c ()
 
+let msg_phase : msg -> Obs.Phase.t = function
+  | Acquire _ -> Obs.Phase.Execute
+  | Acquire_reply _ -> Obs.Phase.Reply
+  | Wound _ -> Obs.Phase.Abort
+  | Decide { d_commit = true; _ } -> Obs.Phase.Commit
+  | Decide _ -> Obs.Phase.Abort
+
 (* --- server --------------------------------------------------------- *)
 
 type txn_state = {
@@ -397,6 +404,7 @@ let make variant name : Harness.Protocol.t =
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

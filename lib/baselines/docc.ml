@@ -41,6 +41,13 @@ let msg_cost (c : Harness.Cost.t) = function
   | Exec_reply r -> Harness.Cost.server c ~ops:(List.length r.e_results) ()
   | Prepare_reply _ -> Harness.Cost.server c ()
 
+let msg_phase : msg -> Obs.Phase.t = function
+  | Exec _ -> Obs.Phase.Execute
+  | Exec_reply _ | Prepare_reply _ -> Obs.Phase.Reply
+  | Prepare _ -> Obs.Phase.Validate
+  | Decide { d_commit = true; _ } -> Obs.Phase.Commit
+  | Decide _ -> Obs.Phase.Abort
+
 (* --- server --------------------------------------------------------- *)
 
 type prepared = {
@@ -363,6 +370,7 @@ let protocol : Harness.Protocol.t =
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

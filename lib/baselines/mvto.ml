@@ -32,6 +32,12 @@ let msg_cost (c : Harness.Cost.t) = function
   | Decide _ -> Harness.Cost.server c ()
   | Exec_reply r -> Harness.Cost.server c ~ops:(List.length r.e_results) ()
 
+let msg_phase : msg -> Obs.Phase.t = function
+  | Exec _ -> Obs.Phase.Execute
+  | Exec_reply _ -> Obs.Phase.Reply
+  | Decide { d_commit = true; _ } -> Obs.Phase.Commit
+  | Decide _ -> Obs.Phase.Abort
+
 (* --- server --------------------------------------------------------- *)
 
 type pending_msg = {
@@ -293,6 +299,7 @@ let protocol : Harness.Protocol.t =
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

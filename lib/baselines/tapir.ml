@@ -33,6 +33,12 @@ let msg_cost (c : Harness.Cost.t) = function
   | Decide _ -> Harness.Cost.server c ()
   | Prepare_reply r -> Harness.Cost.server c ~ops:(List.length r.p_results) ()
 
+let msg_phase : msg -> Obs.Phase.t = function
+  | Prepare _ -> Obs.Phase.Validate
+  | Prepare_reply _ -> Obs.Phase.Reply
+  | Decide { d_commit = true; _ } -> Obs.Phase.Commit
+  | Decide _ -> Obs.Phase.Abort
+
 (* --- server --------------------------------------------------------- *)
 
 type server = {
@@ -250,6 +256,7 @@ let protocol : Harness.Protocol.t =
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

@@ -48,6 +48,12 @@ let msg_cost (cm : Harness.Cost.t) = function
   | Commit_reply r -> Harness.Cost.server cm ~ops:(List.length r.c_results) ()
   | Abort _ -> Harness.Cost.server cm ()
 
+let msg_phase : msg -> Obs.Phase.t = function
+  | Preaccept _ -> Obs.Phase.Execute
+  | Preaccept_reply _ | Commit_reply _ -> Obs.Phase.Reply
+  | Commit _ -> Obs.Phase.Commit
+  | Abort _ -> Obs.Phase.Abort
+
 (* --- server --------------------------------------------------------- *)
 
 type tstate = {
@@ -429,6 +435,7 @@ let protocol : Harness.Protocol.t =
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

@@ -40,7 +40,12 @@ type 'msg node = {
   ctx : 'msg ctx;
   mutable handler : src:Types.node_id -> 'msg -> unit;
   mutable cost : 'msg -> float;
-  inbox : (Types.node_id * 'msg) Queue.t;
+  mutable phase_of : ('msg -> string) option;
+      (* observability label for handler-execution spans *)
+  (* src, message, enqueue time, and whether the node was occupied at
+     enqueue (drives the "queued" span without re-deriving it from
+     float arithmetic at service time) *)
+  inbox : (Types.node_id * 'msg * float * bool) Queue.t;
   mutable busy : bool;
   mutable up : bool;
   (* Bumped on every crash; a service completion scheduled before the
@@ -63,6 +68,11 @@ type 'msg t = {
   net_topo : Topology.t;
   latency : Latency.t;
   faults : Faults.spec;
+  (* Observability plane: when set, the runtime records per-message
+     spans (in-flight, queueing delay, handler execution). Recording is
+     passive — no RNG draws, no scheduled events — so an attached
+     recorder cannot change a run's outcome. *)
+  obs : Obs.Recorder.t option;
   (* Aliases the parent rng at construction and is re-pointed to a
      private split only when faults are enabled, so the fault-free
      path never draws from it. *)
@@ -79,9 +89,17 @@ type 'msg t = {
 let rec service t node =
   if node.up && (not node.busy) && not (Queue.is_empty node.inbox) then begin
     node.busy <- true;
-    let src, msg = Queue.pop node.inbox in
+    let src, msg, enq, was_queued = Queue.pop node.inbox in
     let epoch = node.epoch in
     let c = node.cost msg in
+    let start = Sim.Engine.now t.net_engine in
+    (match t.obs with
+     | Some r when was_queued ->
+       Obs.Recorder.complete r ~node:node.ctx.self ~name:"queued" ~cat:"net"
+         ~ts:enq ~dur:(start -. enq)
+         ~args:[ ("src", string_of_int src) ]
+         ()
+     | Some _ | None -> ());
     t.busy_time.(node.ctx.self) <- t.busy_time.(node.ctx.self) +. c;
     Sim.Engine.schedule t.net_engine ~delay:c (fun () ->
         if node.epoch = epoch then begin
@@ -89,20 +107,60 @@ let rec service t node =
             Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
               (Printf.sprintf "node %d handles message from %d" node.ctx.self
                  src);
+          (match t.obs with
+           | Some r ->
+             let name =
+               match node.phase_of with Some f -> f msg | None -> "handle"
+             in
+             Obs.Recorder.complete r ~node:node.ctx.self ~name ~cat:"rpc"
+               ~ts:start ~dur:c
+               ~args:[ ("src", string_of_int src) ]
+               ()
+           | None -> ());
           node.handler ~src msg;
           node.busy <- false;
           service t node
         end)
   end
 
-let deliver t ~src node msg =
+let deliver t ~src ~flight node msg =
+  let dst = node.ctx.self in
+  (match t.obs with
+   | Some r ->
+     (* Close the in-flight span even when the message is lost below,
+        so traces stay balanced. *)
+     Obs.Recorder.async_e r ~node:dst ~name:"msg" ~cat:"net" ~id:flight
+       ~ts:(Sim.Engine.now t.net_engine) ()
+   | None -> ());
   if node.up then begin
-    Queue.push (src, msg) node.inbox;
+    let was_queued = node.busy || not (Queue.is_empty node.inbox) in
+    Queue.push (src, msg, Sim.Engine.now t.net_engine, was_queued) node.inbox;
     service t node
   end
-  else if Sim.Trace.active () then
-    Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"fault"
-      (Printf.sprintf "message %d -> %d lost: node down" src node.ctx.self)
+  else begin
+    (match t.obs with
+     | Some r ->
+       Obs.Recorder.instant r ~node:dst ~name:"lost" ~cat:"net"
+         ~ts:(Sim.Engine.now t.net_engine)
+         ~args:[ ("src", string_of_int src) ]
+         ()
+     | None -> ());
+    if Sim.Trace.active () then
+      Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"fault"
+        (Printf.sprintf "message %d -> %d lost: node down" src dst)
+  end
+
+(* Open the in-flight async span for one network copy of a message.
+   [flight] is the unique correlation id ([messages_sent] at send
+   time); the matching end is emitted by [deliver]. *)
+let flight_begin t ~src ~dst ~flight =
+  match t.obs with
+  | Some r ->
+    Obs.Recorder.async_b r ~node:src ~name:"msg" ~cat:"net" ~id:flight
+      ~ts:(Sim.Engine.now t.net_engine)
+      ~args:[ ("dst", string_of_int dst) ]
+      ()
+  | None -> ()
 
 let send_clean t ~src ~dst msg =
   let delay = Latency.sample t.net_rng t.latency ~src ~dst in
@@ -110,7 +168,10 @@ let send_clean t ~src ~dst msg =
     Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"send"
       (Printf.sprintf "%d -> %d (arrives +%.0fus)" src dst (delay *. 1e6));
   let node = t.nodes.(dst) in
-  Sim.Engine.schedule t.net_engine ~delay (fun () -> deliver t ~src node msg)
+  let flight = t.messages_sent in
+  flight_begin t ~src ~dst ~flight;
+  Sim.Engine.schedule t.net_engine ~delay (fun () ->
+      deliver t ~src ~flight node msg)
 
 let send_faulty t ~src ~dst msg =
   let now = Sim.Engine.now t.net_engine in
@@ -139,15 +200,20 @@ let send_faulty t ~src ~dst msg =
     trace "send" "%d -> %d (arrives +%.0fus)" src dst
       ((base +. extra) *. 1e6);
     let node = t.nodes.(dst) in
+    let flight = t.messages_sent in
+    flight_begin t ~src ~dst ~flight;
     Sim.Engine.schedule t.net_engine ~delay:(base +. extra) (fun () ->
-        deliver t ~src node msg);
+        deliver t ~src ~flight node msg);
     if Sim.Rng.flip t.fault_rng t.faults.Faults.duplicate then begin
       t.n_duplicated <- t.n_duplicated + 1;
       let dup_delay = Latency.sample t.net_rng t.latency ~src ~dst in
       trace "fault" "message %d -> %d duplicated (copy +%.0fus)" src dst
         (dup_delay *. 1e6);
+      (* The duplicate is its own network copy: a second b/e pair under
+         the same correlation id keeps the trace balanced. *)
+      flight_begin t ~src ~dst ~flight;
       Sim.Engine.schedule t.net_engine ~delay:dup_delay (fun () ->
-          deliver t ~src node msg)
+          deliver t ~src ~flight node msg)
     end
   end
 
@@ -204,7 +270,7 @@ let install_crashes t =
       end)
     t.faults.Faults.crashes
 
-let create ?(faults = Faults.none) engine rng topo ~latency ~clock_of =
+let create ?(faults = Faults.none) ?obs engine rng topo ~latency ~clock_of =
   let n = Topology.n_nodes topo in
   let rec t =
     lazy
@@ -214,6 +280,7 @@ let create ?(faults = Faults.none) engine rng topo ~latency ~clock_of =
         net_topo = topo;
         latency;
         faults;
+        obs;
         fault_rng = rng;
         nodes =
           Array.init n (fun id ->
@@ -232,6 +299,7 @@ let create ?(faults = Faults.none) engine rng topo ~latency ~clock_of =
                 ctx;
                 handler = (fun ~src:_ _ -> failwith "Net: handler not set");
                 cost = (fun _ -> 0.0);
+                phase_of = None;
                 inbox = Queue.create ();
                 busy = false;
                 up = true;
@@ -258,8 +326,9 @@ let create ?(faults = Faults.none) engine rng topo ~latency ~clock_of =
 
 let ctx t id = t.nodes.(id).ctx
 
-let set_handler t id ~cost ~handler =
+let set_handler ?phase t id ~cost ~handler =
   t.nodes.(id).cost <- cost;
+  t.nodes.(id).phase_of <- phase;
   t.nodes.(id).handler <- handler
 
 let set_on_restart t id f = t.nodes.(id).on_restart <- Some f

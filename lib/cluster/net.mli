@@ -35,15 +35,24 @@ type fault_stats = {
 (** [create engine rng topo ~latency ~clock_of] builds the runtime;
     [clock_of id] supplies each node's (possibly skewed) clock.
     [faults] defaults to {!Faults.none}, in which case the network is
-    byte-identical (RNG draws included) to the fault-free runtime. *)
+    byte-identical (RNG draws included) to the fault-free runtime.
+    [obs] attaches a span recorder for per-message observability
+    (in-flight, queueing delay, handler execution); recording is
+    passive — no RNG draws, no scheduled events — so attaching one
+    cannot change a run's outcome. *)
 val create :
   ?faults:Faults.spec ->
+  ?obs:Obs.Recorder.t ->
   Sim.Engine.t -> Sim.Rng.t -> Topology.t ->
   latency:Latency.t -> clock_of:(Types.node_id -> Sim.Clock.t) -> 'msg t
 
 val ctx : 'msg t -> Types.node_id -> 'msg ctx
 
+(** [phase] labels handler-execution spans from the message being
+    serviced (defaults to "handle"); only consulted when a recorder is
+    attached. *)
 val set_handler :
+  ?phase:('msg -> string) ->
   'msg t -> Types.node_id ->
   cost:('msg -> float) -> handler:(src:Types.node_id -> 'msg -> unit) -> unit
 

@@ -17,6 +17,12 @@ module type S = sig
      messages cost [Cost.client]. *)
   val msg_cost : Cost.t -> msg -> float
 
+  (* Which lifecycle phase a message belongs to, for observability:
+     handler-execution spans in the trace are labelled with the phase
+     of the message being serviced. Purely descriptive — never
+     consulted by the runtime's scheduling or cost model. *)
+  val msg_phase : msg -> Obs.Phase.t
+
   type server
 
   val make_server : msg Cluster.Net.ctx -> server

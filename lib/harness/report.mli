@@ -1,0 +1,16 @@
+(** Deterministic JSON reporting over {!Runner.result} and the metrics
+    registry: `ncc_sim profile --json`, the bench BENCH_*.json files
+    and the CI artifacts all go through here. *)
+
+(** A run summary as a JSON value. *)
+val result_json : Runner.result -> Obs.Jsonw.t
+
+(** The `ncc_sim profile` document: run summary plus every cell of the
+    metrics registry. *)
+val profile_json : Runner.result -> Obs.Metrics.t -> string
+
+(** One bench row ([experiment] names the configuration measured). *)
+val bench_row : experiment:string -> Runner.result -> Obs.Jsonw.t
+
+(** A whole BENCH_*.json document. *)
+val bench_doc : suite:string -> Obs.Jsonw.t list -> string

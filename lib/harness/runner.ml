@@ -74,6 +74,7 @@ type result = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   messages : int;
   msgs_per_commit : float;
   max_utilization : float;
@@ -98,10 +99,7 @@ let latency_model rng topo = function
       ~remote:(fun a b ->
         Cluster.Topology.is_replica topo a || Cluster.Topology.is_replica topo b)
 
-let bump tbl key n =
-  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-
-let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
+let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t) cfg =
   Txn.reset_ids ();
   Mvstore.Store.reset_vids ();
   let engine = Sim.Engine.create () in
@@ -119,42 +117,95 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
   let lat_rng = Sim.Rng.split rng in
   let latency = latency_model lat_rng topo cfg.latency in
   let net =
-    Cluster.Net.create ~faults:cfg.faults engine (Sim.Rng.split rng) topo
+    Cluster.Net.create ~faults:cfg.faults ?obs engine (Sim.Rng.split rng) topo
       ~latency
       ~clock_of:(fun id -> clocks.(id))
+  in
+  (* Track names and the handler-span labeller. Recording is passive:
+     every obs touch below mutates only per-run values and never reads
+     the clock outside an existing event, so an attached recorder
+     cannot change a run (pinned by the observer-effect test). *)
+  (match obs with
+   | Some r ->
+     List.iter
+       (fun id -> Obs.Recorder.name_track r ~node:id (Printf.sprintf "server %d" id))
+       (Cluster.Topology.servers topo);
+     List.iter
+       (fun id -> Obs.Recorder.name_track r ~node:id (Printf.sprintf "replica %d" id))
+       (Cluster.Topology.replicas topo);
+     List.iter
+       (fun id -> Obs.Recorder.name_track r ~node:id (Printf.sprintf "client %d" id))
+       (Cluster.Topology.clients topo)
+   | None -> ());
+  let phase =
+    Option.map (fun _ m -> Obs.Phase.to_string (P.msg_phase m)) obs
   in
   let window_start = cfg.warmup in
   let window_end = cfg.warmup +. cfg.duration in
   let horizon = window_end +. cfg.drain in
   (* --- stats --- *)
-  let hist = Stats.Hist.create () in
+  let mx = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  let hist = Obs.Metrics.hist mx "txn.latency_s" in
   let committed = ref 0 and gave_up = ref 0 and attempts = ref 0 in
   let dropped = ref 0 in
-  let aborts = Hashtbl.create 16 in
+  (* Abort reasons live in their own registry: [result.counters] is
+     protocol counters only (historical shape), and counter totals sum
+     everything in a registry. *)
+  let abort_mx = Obs.Metrics.create () in
   let series = Stats.Series.create ?width:cfg.series_width () in
   let chk = Checker.Rsg.create () in
+  (* Busy-time snapshots at the window edges: utilization is measured
+     over the measurement window, not diluted by warmup and drain. The
+     snapshot events are installed unconditionally and draw no
+     randomness, so they cannot perturb the simulation's RNG streams. *)
+  let n_nodes = Cluster.Topology.n_nodes topo in
+  let busy_at_start = Array.make n_nodes 0.0 in
+  let busy_at_end = Array.make n_nodes 0.0 in
+  let snapshot into () =
+    for id = 0 to n_nodes - 1 do
+      into.(id) <- Cluster.Net.busy_time net id
+    done
+  in
+  Sim.Engine.schedule engine ~delay:window_start (snapshot busy_at_start);
+  Sim.Engine.schedule engine ~delay:window_end (snapshot busy_at_end);
   (* --- servers --- *)
   let servers =
     List.map
       (fun id ->
         let srv = P.make_server (Cluster.Net.ctx net id) in
-        Cluster.Net.set_handler net id
+        Cluster.Net.set_handler ?phase net id
           ~cost:(fun m -> P.msg_cost cfg.cost m)
           ~handler:(fun ~src m -> P.server_handle srv ~src m);
-        srv)
+        (id, srv))
       (Cluster.Topology.servers topo)
   in
   (* --- replicas (replicated protocols only) --- *)
   List.iter
     (fun id ->
       let rep = P.make_replica (Cluster.Net.ctx net id) in
-      Cluster.Net.set_handler net id
+      Cluster.Net.set_handler ?phase net id
         ~cost:(fun m -> P.msg_cost cfg.cost m)
         ~handler:(fun ~src m -> P.replica_handle rep ~src m))
     (Cluster.Topology.replicas topo);
   (* --- clients --- *)
   let all_clients = ref [] in
   let in_window t = t >= window_start && t < window_end in
+  (* Txn-lifecycle spans, all on the owning client's track, correlated
+     by transaction id: an async "txn" span over the whole
+     retry-until-committed life, nested "attempt" spans per submission,
+     "backoff" complete spans between attempts, "shed" / "gave_up"
+     instants at the open-loop threshold and the retry cap. *)
+  let txn_b node name ts txn_id =
+    match obs with
+    | Some r -> Obs.Recorder.async_b r ~node ~name ~cat:"txn" ~id:txn_id ~ts ()
+    | None -> ()
+  in
+  let txn_e node name ts txn_id args =
+    match obs with
+    | Some r ->
+      Obs.Recorder.async_e r ~node ~name ~cat:"txn" ~id:txn_id ~ts ~args ()
+    | None -> ()
+  in
   List.iter
     (fun id ->
       let ctx = Cluster.Net.ctx net id in
@@ -184,8 +235,10 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
               | _ -> ())
       in
       let resubmit p =
-        p.p_attempt_start <- Sim.Engine.now engine;
+        let now = Sim.Engine.now engine in
+        p.p_attempt_start <- now;
         incr attempts;
+        txn_b id "attempt" now p.p_txn.Txn.id;
         P.submit (client ()) p.p_txn;
         arm_timeout p
       in
@@ -197,6 +250,9 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
           (match o.status with
            | Outcome.Committed ->
              Hashtbl.remove inflight o.txn.Txn.id;
+             txn_e id "attempt" now o.txn.Txn.id [ ("status", "committed") ];
+             txn_e id "txn" now o.txn.Txn.id
+               [ ("attempts", string_of_int (p.p_attempts + 1)) ];
              if in_window p.p_first_start then begin
                incr committed;
                Stats.Hist.add hist (now -. p.p_first_start);
@@ -208,11 +264,21 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
                  ~reads:(List.map (fun (k, vid, _) -> (k, vid)) o.reads)
                  ~writes:o.writes
            | Outcome.Aborted reason ->
+             let reason_s = Outcome.reason_to_string reason in
+             txn_e id "attempt" now o.txn.Txn.id [ ("status", reason_s) ];
              if in_window p.p_first_start then
-               bump aborts (Outcome.reason_to_string reason) 1;
+               Obs.Metrics.add abort_mx reason_s 1.0;
              p.p_attempts <- p.p_attempts + 1;
              if p.p_attempts > cfg.max_retries then begin
                Hashtbl.remove inflight o.txn.Txn.id;
+               (match obs with
+                | Some r ->
+                  Obs.Recorder.instant r ~node:id ~name:"gave_up" ~cat:"txn"
+                    ~ts:now
+                    ~args:[ ("txn", string_of_int o.txn.Txn.id) ]
+                    ()
+                | None -> ());
+               txn_e id "txn" now o.txn.Txn.id [ ("status", "gave_up") ];
                if in_window p.p_first_start then incr gave_up
              end
              else begin
@@ -221,13 +287,20 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
                  *. float_of_int (1 lsl min 6 (p.p_attempts - 1))
                  *. (0.5 +. Sim.Rng.float retry_rng 1.0)
                in
+               (match obs with
+                | Some r ->
+                  Obs.Recorder.complete r ~node:id ~name:"backoff" ~cat:"txn"
+                    ~ts:now ~dur:backoff
+                    ~args:[ ("txn", string_of_int o.txn.Txn.id) ]
+                    ()
+                | None -> ());
                Sim.Engine.schedule engine ~delay:backoff (fun () -> resubmit p)
              end)
       in
       let cl = P.make_client ctx ~report in
       client_ref := Some cl;
-      all_clients := cl :: !all_clients;
-      Cluster.Net.set_handler net id
+      all_clients := (id, cl) :: !all_clients;
+      Cluster.Net.set_handler ?phase net id
         ~cost:(fun _ -> Cost.client cfg.cost)
         ~handler:(fun ~src m -> P.client_handle cl ~src m);
       (* open-loop Poisson arrivals *)
@@ -242,10 +315,18 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
             in
             Hashtbl.replace inflight txn.Txn.id p;
             incr attempts;
+            txn_b id "txn" now txn.Txn.id;
+            txn_b id "attempt" now txn.Txn.id;
             P.submit cl txn;
             arm_timeout p
           end
-          else if in_window now then incr dropped;
+          else begin
+            (match obs with
+             | Some r ->
+               Obs.Recorder.instant r ~node:id ~name:"shed" ~cat:"txn" ~ts:now ()
+             | None -> ());
+            if in_window now then incr dropped
+          end;
           Sim.Engine.schedule engine
             ~delay:(Sim.Rng.exponential gen_rng ~mean:(1.0 /. rate))
             arrival
@@ -262,7 +343,7 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
     | No_check -> "skipped"
     | (Serializable | Strict) as lvl ->
       List.iter
-        (fun srv ->
+        (fun (_, srv) ->
           List.iter
             (fun (key, vids) -> Checker.Rsg.record_version_order chk key vids)
             (P.server_version_orders srv))
@@ -272,19 +353,18 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
          Printf.sprintf "ok (%d txns)" (Checker.Rsg.n_committed chk)
        | Checker.Rsg.Violation v -> "VIOLATION: " ^ v)
   in
-  let counters = Hashtbl.create 16 in
-  let add_counters l =
-    List.iter
-      (fun (k, v) ->
-        Hashtbl.replace counters k
-          (v +. Option.value ~default:0.0 (Hashtbl.find_opt counters k)))
-      l
-  in
-  List.iter (fun srv -> add_counters (P.server_counters srv)) servers;
-  List.iter (fun cl -> add_counters (P.client_counters cl)) !all_clients;
+  (* Protocol counters land in the metrics registry scoped to the node
+     that produced them; [counter_totals] sums each family across nodes,
+     which is exactly the historical [result.counters] shape. *)
+  List.iter
+    (fun (id, srv) -> Obs.Metrics.add_list mx ~node:id (P.server_counters srv))
+    servers;
+  List.iter
+    (fun (id, cl) -> Obs.Metrics.add_list mx ~node:id (P.client_counters cl))
+    !all_clients;
   if not (Cluster.Faults.is_none cfg.faults) then begin
     let fs = Cluster.Net.fault_stats net in
-    add_counters
+    Obs.Metrics.add_list mx
       [
         ("net.dropped", float_of_int fs.Cluster.Net.dropped);
         ("net.duplicated", float_of_int fs.Cluster.Net.duplicated);
@@ -293,6 +373,36 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
       ]
   end;
   let msgs = Cluster.Net.messages_sent net in
+  let aborts =
+    List.map
+      (fun (reason, n) -> (reason, int_of_float n))
+      (Obs.Metrics.counter_totals abort_mx)
+  in
+  let max_utilization =
+    if cfg.duration <= 0.0 then 0.0
+    else
+      List.fold_left
+        (fun acc (s, _) ->
+          Float.max acc ((busy_at_end.(s) -. busy_at_start.(s)) /. cfg.duration))
+        0.0 servers
+  in
+  (* Run-level summary gauges: visible to the profile exporter, kept
+     out of the counter families so [result.counters] is unchanged. *)
+  let throughput = float_of_int !committed /. cfg.duration in
+  Obs.Metrics.set_gauge mx "run.committed" (float_of_int !committed);
+  Obs.Metrics.set_gauge mx "run.gave_up" (float_of_int !gave_up);
+  Obs.Metrics.set_gauge mx "run.attempts" (float_of_int !attempts);
+  Obs.Metrics.set_gauge mx "run.shed_arrivals" (float_of_int !dropped);
+  Obs.Metrics.set_gauge mx "run.throughput_tps" throughput;
+  Obs.Metrics.set_gauge mx "run.max_utilization" max_utilization;
+  Obs.Metrics.set_gauge mx "net.messages" (float_of_int msgs);
+  List.iter
+    (fun (reason, n) ->
+      Obs.Metrics.set_gauge mx ("aborts." ^ reason) (float_of_int n))
+    aborts;
+  for id = 0 to n_nodes - 1 do
+    Obs.Metrics.set_gauge mx ~node:id "cpu.busy_s" (Cluster.Net.busy_time net id)
+  done;
   {
     protocol = (if label = "" then P.name else label);
     workload = w.Workload_sig.name;
@@ -300,18 +410,19 @@ let run ?(label = "") (module P : Protocol.S) (w : Workload_sig.t) cfg =
     committed = !committed;
     gave_up = !gave_up;
     attempts = !attempts;
-    aborts = Detmap.sorted_bindings aborts;
+    aborts;
     dropped = !dropped;
-    throughput = float_of_int !committed /. cfg.duration;
+    throughput;
     mean_latency = Stats.Hist.mean hist;
     p50 = Stats.Hist.percentile hist 0.50;
     p90 = Stats.Hist.percentile hist 0.90;
     p99 = Stats.Hist.percentile hist 0.99;
+    p999 = Stats.Hist.p999 hist;
     messages = msgs;
     msgs_per_commit =
       (if !committed = 0 then 0.0 else float_of_int msgs /. float_of_int !committed);
-    max_utilization = Cluster.Net.max_server_utilization net ~duration:horizon;
-    counters = Detmap.sorted_bindings counters;
+    max_utilization;
+    counters = Obs.Metrics.counter_totals mx;
     series = Stats.Series.rates series;
     check_result;
   }

@@ -54,13 +54,24 @@ type result = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   messages : int;
   msgs_per_commit : float;
-  max_utilization : float;  (** busiest server's CPU utilization *)
+  max_utilization : float;
+      (** busiest server's CPU utilization over the measurement window
+          (warmup and drain excluded) *)
   counters : (string * float) list;  (** protocol-specific, summed *)
   series : (float * float) list;     (** commit rate over time *)
   check_result : string;  (** "ok (...)", "VIOLATION: ...", or "skipped" *)
 }
 
-(** Run one simulation. [label] overrides the protocol's display name. *)
-val run : ?label:string -> Protocol.t -> Workload_sig.t -> config -> result
+(** Run one simulation. [label] overrides the protocol's display name.
+    [obs] attaches a span recorder (txn lifecycle, retries, per-message
+    network/handler spans); [metrics] supplies the registry protocol
+    counters and run gauges land in. Both are passive: attaching them
+    cannot change the result (the observer-effect test pins this). *)
+val run :
+  ?label:string ->
+  ?obs:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
+  Protocol.t -> Workload_sig.t -> config -> result

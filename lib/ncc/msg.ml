@@ -155,6 +155,15 @@ type msg =
 (* Only server-bound messages are costed by the harness; replies are
    handled on client CPUs at the flat client cost. The backup
    coordinator is a server, so recovery messages are costed too. *)
+(* Lifecycle phase of each message, for trace span labels. *)
+let phase : msg -> Obs.Phase.t = function
+  | Exec _ -> Obs.Phase.Execute
+  | Exec_reply _ | Retry_reply _ -> Obs.Phase.Reply
+  | Decide { d_commit = true; _ } -> Obs.Phase.Commit
+  | Decide _ -> Obs.Phase.Abort
+  | Retry _ -> Obs.Phase.Retry
+  | Recover_nudge _ | Recover_query _ | Recover_info _ -> Obs.Phase.Recover
+
 let cost (c : Harness.Cost.t) = function
   | Exec x -> Harness.Cost.server c ~ops:(List.length x.x_ops) ~bytes:x.x_bytes ()
   | Decide _ -> Harness.Cost.server c ()

@@ -13,6 +13,7 @@ let make_protocol ?(config = Msg.default_config) ?(name = "NCC") () : Harness.Pr
     type msg = Msg.msg
 
     let msg_cost = Msg.cost
+    let msg_phase = Msg.phase
 
     type server = Server.t
 

@@ -37,6 +37,12 @@ let msg_cost (c : Harness.Cost.t) = function
     Harness.Cost.server c ~ops:(List.length ae_entries) ()
   | Raft _ -> Harness.Cost.server c ()
 
+(* Raft traffic is the replication phase; app messages keep their NCC
+   lifecycle phase. *)
+let msg_phase = function
+  | App m -> Ncc.Msg.phase m
+  | Raft _ -> Obs.Phase.Replicate
+
 (* A ctx presenting the inner NCC message type over the wrapped wire. *)
 let inner_ctx (ctx : msg Cluster.Net.ctx) ~send : Ncc.Msg.msg Cluster.Net.ctx =
   {
@@ -218,6 +224,7 @@ let make_protocol ?(config = Ncc.Msg.default_config) ?(mode = Every_request)
     type nonrec msg = msg
 
     let msg_cost = msg_cost
+    let msg_phase = msg_phase
 
     type nonrec server = server
 

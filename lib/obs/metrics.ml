@@ -1,0 +1,144 @@
+(* The metrics registry: named counters, gauges and histograms, each
+   optionally scoped to a node. One registry lives for one run (rule
+   R5: never a module global), so "per protocol" scoping falls out of
+   the harness creating a fresh registry per Runner.run.
+
+   Naming scheme (docs/observability.md): dot-separated families,
+   lowercase — "txn.latency_s", "cpu.busy_s", protocol counters keep
+   their historical names ("execs", "retries.ok", "net.dropped").
+   Units ride in the suffix ("_s" seconds, "_ns" nanoseconds); bare
+   names are dimensionless counts.
+
+   Node scope: [?node] defaults to [-1], the run scope. The same name
+   may exist at several nodes; [counter_totals] sums a family across
+   nodes in sorted (name, node) order, which is how the harness feeds
+   Runner.result.counters unchanged.
+
+   All traversal goes through Kernel.Detmap (rule R3); lookups by
+   (string * int) key use Hashtbl's structural hash on values that
+   contain no floats or closures. *)
+
+type counter = { mutable c_v : float }
+type gauge = { mutable g_v : float }
+
+type t = {
+  counters : (string * int, counter) Hashtbl.t;
+  gauges : (string * int, gauge) Hashtbl.t;
+  hists : (string * int, Stats.Hist.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 8;
+  }
+
+let run_scope = -1
+
+let counter t ?(node = run_scope) name =
+  let key = (name, node) in
+  match Hashtbl.find_opt t.counters key with
+  | Some c -> c
+  | None ->
+    let c = { c_v = 0.0 } in
+    Hashtbl.replace t.counters key c;
+    c
+
+let inc c v = c.c_v <- c.c_v +. v
+
+(* One-shot increment (get-or-create then add). *)
+let add t ?node name v = inc (counter t ?node name) v
+
+let add_list t ?node l = List.iter (fun (name, v) -> add t ?node name v) l
+
+let gauge t ?(node = run_scope) name =
+  let key = (name, node) in
+  match Hashtbl.find_opt t.gauges key with
+  | Some g -> g
+  | None ->
+    let g = { g_v = 0.0 } in
+    Hashtbl.replace t.gauges key g;
+    g
+
+let set_gauge t ?node name v = (gauge t ?node name).g_v <- v
+
+let hist t ?(node = run_scope) name =
+  let key = (name, node) in
+  match Hashtbl.find_opt t.hists key with
+  | Some h -> h
+  | None ->
+    let h = Stats.Hist.create () in
+    Hashtbl.replace t.hists key h;
+    h
+
+let observe t ?node name v = Stats.Hist.add (hist t ?node name) v
+
+(* --- read side ------------------------------------------------------- *)
+
+let counters t =
+  List.map (fun (k, c) -> (k, c.c_v)) (Kernel.Detmap.sorted_bindings t.counters)
+
+let gauges t =
+  List.map (fun (k, g) -> (k, g.g_v)) (Kernel.Detmap.sorted_bindings t.gauges)
+
+let hists t = Kernel.Detmap.sorted_bindings t.hists
+
+(* Families summed across nodes, sorted by name — the historical
+   Runner.result.counters shape. Per-node cells are summed in
+   ascending node order. *)
+let counter_totals t =
+  let tot = Hashtbl.create 32 in
+  List.iter
+    (fun ((name, _node), v) ->
+      Hashtbl.replace tot name
+        (v +. Option.value ~default:0.0 (Hashtbl.find_opt tot name)))
+    (counters t);
+  Kernel.Detmap.sorted_bindings tot
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let scope_json node =
+  if node = run_scope then Jsonw.Null else Jsonw.Int node
+
+let hist_json h =
+  let q p = Jsonw.Float (Stats.Hist.percentile h p) in
+  Jsonw.Obj
+    [
+      ("count", Jsonw.Int (Stats.Hist.count h));
+      ("mean", Jsonw.Float (Stats.Hist.mean h));
+      ("min", Jsonw.Float (Stats.Hist.min_value h));
+      ("max", Jsonw.Float (Stats.Hist.max_value h));
+      ("p50", q 0.50);
+      ("p90", q 0.90);
+      ("p99", q 0.99);
+      ("p999", q 0.999);
+    ]
+
+let to_json t =
+  let scoped f l =
+    Jsonw.List
+      (List.map
+         (fun ((name, node), v) ->
+           Jsonw.Obj
+             [ ("name", Jsonw.Str name); ("node", scope_json node); ("value", f v) ])
+         l)
+  in
+  Jsonw.Obj
+    [
+      ("totals",
+       Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Float v)) (counter_totals t)));
+      ("counters", scoped (fun v -> Jsonw.Float v) (counters t));
+      ("gauges", scoped (fun v -> Jsonw.Float v) (gauges t));
+      ("histograms",
+       Jsonw.List
+         (List.map
+            (fun ((name, node), h) ->
+              Jsonw.Obj
+                [
+                  ("name", Jsonw.Str name);
+                  ("node", scope_json node);
+                  ("value", hist_json h);
+                ])
+            (hists t)));
+    ]

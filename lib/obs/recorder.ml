@@ -1,0 +1,89 @@
+(* The span recorder: the observability plane's event store.
+
+   A recorder is a per-run value (never a module global — rule R5) that
+   passively accumulates typed events stamped with *simulated* time
+   supplied by the caller. It never reads a clock, never draws
+   randomness, never schedules: attaching a recorder to a run cannot
+   perturb it, which is what the observer-effect property in
+   test/test_obs.ml pins down (identical Runner.result with recording
+   on and off).
+
+   Event kinds map one-to-one onto Chrome trace_event phases:
+
+     Complete     a closed [ts, ts+dur) interval on one node's track
+                  (message service, queueing delay) — phase "X";
+     Async_b/e    begin/end of a possibly long-lived, possibly
+                  overlapping span correlated by (cat, id) — txn
+                  lifecycle, attempts, backoff, messages in flight —
+                  phases "b"/"e";
+     Instant      a point event (shed arrival, lost message) — "i".
+
+   Events are stored newest-first (cons); [events] restores emission
+   order. A capacity limit guards against unbounded growth on long
+   runs: once over the limit new events are counted but not retained,
+   deterministically, so a capped trace is still a pure function of
+   the seed. *)
+
+type kind = Complete | Async_b | Async_e | Instant
+
+type event = {
+  ev_kind : kind;
+  ev_name : string;
+  ev_cat : string;
+  ev_node : int;   (* track: the node the event is attributed to *)
+  ev_id : int;     (* async correlation id within ev_cat; -1 if none *)
+  ev_ts : float;   (* simulated seconds *)
+  ev_dur : float;  (* simulated seconds; Complete events only, else 0 *)
+  ev_args : (string * string) list;
+}
+
+type t = {
+  mutable evs : event list;  (* newest first *)
+  mutable n : int;           (* retained events *)
+  mutable dropped : int;     (* events past the capacity limit *)
+  limit : int;
+  tracks : (int, string) Hashtbl.t;  (* node id -> display name *)
+}
+
+let create ?(limit = 2_000_000) () =
+  { evs = []; n = 0; dropped = 0; limit; tracks = Hashtbl.create 32 }
+
+let name_track t ~node name = Hashtbl.replace t.tracks node name
+
+let track_name t node = Hashtbl.find_opt t.tracks node
+
+(* All named tracks, sorted by node id. *)
+let tracks t = Kernel.Detmap.sorted_bindings t.tracks
+
+let push t ev =
+  if t.n >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.evs <- ev :: t.evs;
+    t.n <- t.n + 1
+  end
+
+let complete t ~node ~name ~cat ~ts ~dur ?(args = []) () =
+  push t
+    { ev_kind = Complete; ev_name = name; ev_cat = cat; ev_node = node;
+      ev_id = -1; ev_ts = ts; ev_dur = dur; ev_args = args }
+
+let async_b t ~node ~name ~cat ~id ~ts ?(args = []) () =
+  push t
+    { ev_kind = Async_b; ev_name = name; ev_cat = cat; ev_node = node;
+      ev_id = id; ev_ts = ts; ev_dur = 0.0; ev_args = args }
+
+let async_e t ~node ~name ~cat ~id ~ts ?(args = []) () =
+  push t
+    { ev_kind = Async_e; ev_name = name; ev_cat = cat; ev_node = node;
+      ev_id = id; ev_ts = ts; ev_dur = 0.0; ev_args = args }
+
+let instant t ~node ~name ~cat ~ts ?(args = []) () =
+  push t
+    { ev_kind = Instant; ev_name = name; ev_cat = cat; ev_node = node;
+      ev_id = -1; ev_ts = ts; ev_dur = 0.0; ev_args = args }
+
+(* Emission order (oldest first). *)
+let events t = List.rev t.evs
+
+let n_events t = t.n
+let n_dropped t = t.dropped

@@ -1,0 +1,57 @@
+(** Span recorder: a per-run, purely passive event store stamped with
+    caller-supplied simulated time. Attaching one to a run cannot
+    perturb it — no clock reads, no randomness, no scheduling — which
+    the observer-effect property in the test suite pins down. *)
+
+type kind = Complete | Async_b | Async_e | Instant
+
+type event = {
+  ev_kind : kind;
+  ev_name : string;
+  ev_cat : string;
+  ev_node : int;   (** track: the node the event is attributed to *)
+  ev_id : int;     (** async correlation id within [ev_cat]; -1 if none *)
+  ev_ts : float;   (** simulated seconds *)
+  ev_dur : float;  (** simulated seconds; [Complete] events only *)
+  ev_args : (string * string) list;
+}
+
+type t
+
+(** [limit] caps retained events (default 2M); events past it are
+    counted in {!n_dropped} but not stored, deterministically. *)
+val create : ?limit:int -> unit -> t
+
+(** Display name for a node's track ("server 3", "client 9"). *)
+val name_track : t -> node:int -> string -> unit
+
+val track_name : t -> int -> string option
+
+(** Named tracks sorted by node id. *)
+val tracks : t -> (int * string) list
+
+(** A closed [ts, ts+dur) interval on [node]'s track. *)
+val complete :
+  t -> node:int -> name:string -> cat:string -> ts:float -> dur:float ->
+  ?args:(string * string) list -> unit -> unit
+
+(** Begin an async span correlated by [(cat, id)]. *)
+val async_b :
+  t -> node:int -> name:string -> cat:string -> id:int -> ts:float ->
+  ?args:(string * string) list -> unit -> unit
+
+(** End the most recent open async span with the same [(cat, id)]. *)
+val async_e :
+  t -> node:int -> name:string -> cat:string -> id:int -> ts:float ->
+  ?args:(string * string) list -> unit -> unit
+
+(** A point event. *)
+val instant :
+  t -> node:int -> name:string -> cat:string -> ts:float ->
+  ?args:(string * string) list -> unit -> unit
+
+(** Retained events, emission order (oldest first). *)
+val events : t -> event list
+
+val n_events : t -> int
+val n_dropped : t -> int

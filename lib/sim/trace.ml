@@ -70,10 +70,12 @@ let events () =
 
 let dump ?last ppf =
   let evs = events () in
+  (* Length computed once: [List.length] inside the filteri predicate
+     would make trimming quadratic in the ring size. *)
+  let n = List.length evs in
   let evs =
     match last with
-    | Some k when List.length evs > k ->
-      List.filteri (fun i _ -> i >= List.length evs - k) evs
+    | Some k when n > k -> List.filteri (fun i _ -> i >= n - k) evs
     | Some _ | None -> evs
   in
   List.iter

@@ -63,6 +63,10 @@ let percentile t q =
     Float.min !result t.max_v |> Float.max t.min_v
   end
 
+(* The tail quantile the observability exporters report alongside
+   p50/p90/p99. *)
+let p999 t = percentile t 0.999
+
 let merge ~into src =
   if Array.length into.buckets <> Array.length src.buckets then
     invalid_arg "Hist.merge: shape mismatch";

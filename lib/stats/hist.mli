@@ -5,11 +5,22 @@ type t
 val create : ?lo:float -> ?hi:float -> ?ratio:float -> unit -> t
 val add : t -> float -> unit
 val count : t -> int
+
+(** Empty-histogram convention: {!mean}, {!min_value}, {!max_value},
+    {!percentile} (and {!p999}) all return the defined value [0.0]
+    when no samples have been added, so downstream reporting never
+    sees NaN or infinities. *)
 val mean : t -> float
+
 val min_value : t -> float
 val max_value : t -> float
 
-(** [percentile t 0.99] is the 99th percentile estimate. *)
+(** [percentile t 0.99] is the 99th percentile estimate ([0.0] when
+    the histogram is empty). *)
 val percentile : t -> float -> float
+
+(** [percentile t 0.999], the tail quantile the observability
+    exporters report. *)
+val p999 : t -> float
 
 val merge : into:t -> t -> unit

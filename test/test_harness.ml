@@ -87,6 +87,7 @@ let runner_same_seed_deterministic =
             ("p50", feq (fun r -> r.p50));
             ("p90", feq (fun r -> r.p90));
             ("p99", feq (fun r -> r.p99));
+            ("p999", feq (fun r -> r.p999));
             ("messages", a.messages = b.messages);
             ("msgs_per_commit", feq (fun r -> r.msgs_per_commit));
             ("max_utilization", feq (fun r -> r.max_utilization));
@@ -99,6 +100,35 @@ let runner_same_seed_deterministic =
       else
         QCheck.Test.fail_reportf "same seed, fields differ: %s"
           (String.concat ", " diffs))
+
+(* Utilization is measured over the measurement window, not diluted by
+   warmup and drain: a saturated server must report near-1.0. Under the
+   old horizon-based division (window + warmup + drain in the
+   denominator) this run reports well under 0.7, so this test pins the
+   windowed measurement. *)
+let utilization_windowed_at_saturation () =
+  let w = Workload.Google_f1.make ~n_keys:1000 () in
+  let cfg =
+    {
+      Harness.Runner.default with
+      Harness.Runner.n_servers = 2;
+      n_clients = 8;
+      offered_load = 60_000.0;
+      duration = 0.5;
+      warmup = 0.2;
+      (* long drain: the old horizon-based division would dilute a
+         saturated window to well under the 0.85 assertion *)
+      drain = 2.0;
+    }
+  in
+  let r = Harness.Runner.run Ncc.protocol w cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "saturated server near full utilization (got %.3f)"
+       r.Harness.Runner.max_utilization)
+    true
+    (r.Harness.Runner.max_utilization > 0.85);
+  Alcotest.(check bool) "utilization bounded" true
+    (r.Harness.Runner.max_utilization <= 1.05)
 
 let testbed_basics () =
   let outcomes = ref 0 in
@@ -219,6 +249,8 @@ let ncc_server_liveness =
 let suite =
   [
     Alcotest.test_case "runner accounting" `Slow runner_accounting;
+    Alcotest.test_case "windowed utilization at saturation" `Slow
+      utilization_windowed_at_saturation;
     Alcotest.test_case "testbed basics" `Quick testbed_basics;
   ]
   @ List.map QCheck_alcotest.to_alcotest

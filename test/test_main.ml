@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("baselines", Test_baselines.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
       ("rsm", Test_rsm.suite);
       ("paper-figures", Test_paper_figures.suite);
       ("exhaustive", Test_exhaustive.suite);
