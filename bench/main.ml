@@ -11,6 +11,12 @@
 (* ncc-lint: allow R5 — CLI flag, written once before any experiment runs *)
 let quick = ref false
 
+(* ncc-lint: allow R5 — CLI flag, written once before any experiment runs *)
+let jobs = ref 1
+
+(* --jobs 0 means one worker per available core. *)
+let njobs () = if !jobs = 0 then Harness.Pool.cpu_count () else max 1 !jobs
+
 let scale () = if !quick then Experiments.quick_scale else Experiments.full_scale
 
 (* Scale-adjusted sweeps: the quick cluster (4 servers) saturates at
@@ -39,7 +45,7 @@ let labeled_rows fig data =
 let fig6a () =
   let rows =
     sweep_rows "fig6a"
-      (Experiments.fig6a ~scale:(scale ())
+      (Experiments.fig6a ~jobs:(njobs ()) ~scale:(scale ())
          ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
          ())
   in
@@ -52,23 +58,23 @@ let fig6a () =
 
 let fig6b () =
   sweep_rows "fig6b"
-    (Experiments.fig6b ~scale:(scale ())
+    (Experiments.fig6b ~jobs:(njobs ()) ~scale:(scale ())
        ~loads:(adj [ 4_000.; 10_000.; 18_000.; 28_000.; 40_000. ])
        ())
 
 let fig6c () =
   sweep_rows "fig6c"
-    (Experiments.fig6c ~scale:(scale ())
+    (Experiments.fig6c ~jobs:(njobs ()) ~scale:(scale ())
        ~loads:(adj [ 4_000.; 9_000.; 15_000.; 21_000.; 27_000. ])
        ())
 
 let fig7a () =
   let load_of name = (if !quick then 0.5 else 1.0) *. Experiments.measured_peak name in
-  sweep_rows "fig7a" (Experiments.fig7a ~scale:(scale ()) ~load_of ())
+  sweep_rows "fig7a" (Experiments.fig7a ~jobs:(njobs ()) ~scale:(scale ()) ~load_of ())
 
 let fig7b () =
   sweep_rows "fig7b"
-    (Experiments.fig7b ~scale:(scale ())
+    (Experiments.fig7b ~jobs:(njobs ()) ~scale:(scale ())
        ~loads:(adj [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ])
        ())
 
@@ -76,7 +82,7 @@ let fig7c () =
   labeled_rows "fig7c"
     (List.map
        (fun (timeout, r) -> (Printf.sprintf "timeout=%g" timeout, r))
-       (Experiments.fig7c ~scale:(scale ())
+       (Experiments.fig7c ~jobs:(njobs ()) ~scale:(scale ())
           ~load:(if !quick then 6_000. else 15_000.)
           ()))
 
@@ -87,20 +93,23 @@ let fig8 () =
         Harness.Report.bench_row ~experiment:("fig8:" ^ name ^ ":ro") ro;
         Harness.Report.bench_row ~experiment:("fig8:" ^ name ^ ":rw") rw;
       ])
-    (Experiments.fig8 ~scale:(scale ()) ())
+    (Experiments.fig8 ~jobs:(njobs ()) ~scale:(scale ()) ())
 
 let ablations () =
-  labeled_rows "ablations" (Experiments.ablations ~scale:(scale ()) ())
+  labeled_rows "ablations"
+    (Experiments.ablations ~jobs:(njobs ()) ~scale:(scale ()) ())
 
 let replication () =
   labeled_rows "replication"
-    (Experiments.replication ~scale:(scale ())
+    (Experiments.replication ~jobs:(njobs ()) ~scale:(scale ())
        ~load:(if !quick then 5_000. else 10_000.)
        ())
 
 let geo () =
   labeled_rows "geo"
-    (Experiments.geo ~scale:(scale ()) ~load:(if !quick then 4_000. else 8_000.) ())
+    (Experiments.geo ~jobs:(njobs ()) ~scale:(scale ())
+       ~load:(if !quick then 4_000. else 8_000.)
+       ())
 
 let params () =
   Experiments.params ();
@@ -173,6 +182,75 @@ let micro () =
              ignore (Sim.Rng.zipf_draw r z)
            done))
   in
+  (* Read lookup on a deep chain: the tw binary search that replaced
+     the old linear version-list scan, next to an inline linear-scan
+     reference over the same (tw, value) data for an in-binary
+     before/after. *)
+  let store_lookup_deep =
+    let s = Mvstore.Store.create () in
+    for i = 1 to 256 do
+      Mvstore.Store.commit_version
+        (Mvstore.Store.write s 1 i ~ts:(Kernel.Ts.make ~time:i ~cid:1) ~writer:i)
+    done;
+    Test.make ~name:"store.version_at 256-chain x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             ignore
+               (Mvstore.Store.version_at s 1
+                  ~ts:(Kernel.Ts.make ~time:(i * 2) ~cid:2))
+           done))
+  in
+  let store_lookup_linear_ref =
+    let tws = List.init 256 (fun i -> (Kernel.Ts.make ~time:(256 - i) ~cid:1, i)) in
+    Test.make ~name:"version lookup linear-list ref x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             let ts = Kernel.Ts.make ~time:(i * 2) ~cid:2 in
+             ignore
+               (List.find_opt (fun (tw, _) -> Kernel.Ts.(tw <= ts)) tws)
+           done))
+  in
+  (* Message dispatch through the fault-free network runtime (the
+     preallocated-completion fast path): one node servicing a burst. *)
+  let net_dispatch =
+    let topo = Cluster.Topology.make ~replicas_per_server:0 ~n_servers:1 ~n_clients:1 () in
+    Test.make ~name:"net.dispatch x100"
+      (Staged.stage (fun () ->
+           let engine = Sim.Engine.create () in
+           let rng = Sim.Rng.create 1 in
+           let latency = Cluster.Latency.uniform ~one_way:1e-4 ~jitter_mean:1e-6 in
+           let net =
+             Cluster.Net.create engine rng topo ~latency
+               ~clock_of:(fun _ -> Sim.Clock.perfect)
+           in
+           let served = ref 0 in
+           Cluster.Net.set_handler net 0 ~cost:(fun _ -> 10e-6)
+             ~handler:(fun ~src:_ _ -> incr served);
+           for i = 1 to 100 do
+             Cluster.Net.send net ~src:1 ~dst:0 i
+           done;
+           Sim.Engine.run engine;
+           assert (!served = 100)))
+  in
+  (* Sorted whole-table traversal: the per-store key cache vs a
+     fresh sort every call (the pre-cache behavior). *)
+  let tbl = Hashtbl.create 1024 in
+  for i = 1 to 1000 do
+    Hashtbl.replace tbl (i * 7919 mod 4096) i
+  done;
+  let detmap_uncached =
+    Test.make ~name:"detmap.iter_sorted 1k keys"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Kernel.Detmap.iter_sorted (fun _ v -> acc := !acc + v) tbl))
+  in
+  let detmap_cached =
+    let kc = Kernel.Detmap.cache () in
+    Test.make ~name:"detmap.iter_sorted_cached 1k keys"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Kernel.Detmap.iter_sorted_cached kc (fun _ v -> acc := !acc + v) tbl))
+  in
   let checker =
     Test.make ~name:"checker 1k-txn history"
       (Staged.stage (fun () ->
@@ -189,25 +267,45 @@ let micro () =
            | Checker.Rsg.Ok -> ()
            | Checker.Rsg.Violation v -> failwith v))
   in
-  let tests = [ store_write; store_read; safeguard; heap; zipf; checker ] in
+  let tests =
+    [
+      store_write;
+      store_read;
+      store_lookup_deep;
+      store_lookup_linear_ref;
+      net_dispatch;
+      detmap_uncached;
+      detmap_cached;
+      safeguard;
+      heap;
+      zipf;
+      checker;
+    ]
+  in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  List.iter
+  (* Each estimate also lands in BENCH_*.json as a micro row. Micro
+     rows are host timings (not deterministic), so parity byte-diffs of
+     the JSON must select experiments that exclude [micro]. *)
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
+      let rows = ref [] in
       Kernel.Detmap.iter_sorted
         (fun sub raw ->
           match Analyze.one ols instance raw with
           | ols_result ->
             (match Analyze.OLS.estimates ols_result with
-             | Some [ est ] -> Printf.printf "%-30s %12.1f ns/run\n" sub est
-             | Some _ | None -> Printf.printf "%-30s (no estimate)\n" sub)
+             | Some [ est ] ->
+               Printf.printf "%-36s %12.1f ns/run\n" sub est;
+               rows := Harness.Report.micro_row ~name:sub ~ns_per_run:est :: !rows
+             | Some _ | None -> Printf.printf "%-36s (no estimate)\n" sub)
           | exception e ->
-            Printf.printf "%-30s (failed: %s)\n" sub (Printexc.to_string e))
-        results)
-    tests;
-  []
+            Printf.printf "%-36s (failed: %s)\n" sub (Printexc.to_string e))
+        results;
+      List.rev !rows)
+    tests
 
 (* --- driver ----------------------------------------------------------- *)
 
@@ -228,17 +326,20 @@ let all_experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse = function
+    | [] -> []
+    | "quick" :: rest ->
+      quick := true;
+      parse rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      jobs := int_of_string n;
+      parse rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
+      parse rest
+    | arg :: rest -> arg :: parse rest
   in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] -> all_experiments
@@ -253,8 +354,10 @@ let () =
             exit 2)
         names
   in
-  Printf.printf "NCC reproduction benchmarks (%s scale)\n"
-    (if !quick then "quick" else "full");
+  Printf.printf "NCC reproduction benchmarks (%s scale, %d job%s)\n"
+    (if !quick then "quick" else "full")
+    (njobs ())
+    (if njobs () = 1 then "" else "s");
   let rows =
     List.concat_map
       (fun (name, f) ->
@@ -262,7 +365,9 @@ let () =
         let t0 = Unix.gettimeofday () in
         let rows = f () in
         (* ncc-lint: allow R2 — wall-clock times the bench harness itself *)
-        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Printf.printf "[%s done in %.1fs host wall-clock — not simulated time]\n%!"
+          name elapsed;
         rows)
       selected
   in

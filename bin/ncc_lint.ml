@@ -6,7 +6,7 @@
    Lints every .ml file under the given paths (default: lib bin bench
    test) against the syntactic rule set R1-R6, and — when --cmt-root
    points at a build tree containing .cmt files — the typed rules
-   R7-R10 as well. Exits non-zero if any error-severity finding
+   R7-R11 as well. Exits non-zero if any error-severity finding
    survives waivers; [--werror] also fails on warnings (unused waiver
    pragmas). *)
 
@@ -18,7 +18,7 @@ let usage =
   \  --json          emit findings as JSON instead of file:line text\n\
   \  --werror        exit non-zero on warnings too\n\
   \  --rules IDS     run only the comma-separated rule ids (e.g. R7,R9)\n\
-  \  --cmt-root DIR  also run the typed rules R7-R10 over the .cmt files\n\
+  \  --cmt-root DIR  also run the typed rules R7-R11 over the .cmt files\n\
   \                  found under DIR (a dune build tree, e.g. _build/default\n\
   \                  — or . when already running inside it)\n\
   \  --help          show this message\n\n\

@@ -39,18 +39,19 @@ let workloads ~n_servers =
 
 let figures =
   [
-    ("params", fun ~scale:_ -> Experiments.params ());
-    ("fig6a", fun ~scale -> ignore (Experiments.fig6a ~scale ()));
-    ("fig6b", fun ~scale -> ignore (Experiments.fig6b ~scale ()));
-    ("fig6c", fun ~scale -> ignore (Experiments.fig6c ~scale ()));
-    ("fig7a", fun ~scale -> ignore (Experiments.fig7a ~scale ()));
-    ("fig7b", fun ~scale -> ignore (Experiments.fig7b ~scale ()));
-    ("fig7c", fun ~scale -> ignore (Experiments.fig7c ~scale ()));
-    ("fig8", fun ~scale -> ignore (Experiments.fig8 ~scale ()));
-    ("ablations", fun ~scale -> ignore (Experiments.ablations ~scale ()));
-    ("internals", fun ~scale -> ignore (Experiments.ncc_internals ~scale ()));
-    ("replication", fun ~scale -> ignore (Experiments.replication ~scale ()));
-    ("geo", fun ~scale -> ignore (Experiments.geo ~scale ()));
+    ("params", fun ~jobs:_ ~scale:_ -> Experiments.params ());
+    ("fig6a", fun ~jobs ~scale -> ignore (Experiments.fig6a ~jobs ~scale ()));
+    ("fig6b", fun ~jobs ~scale -> ignore (Experiments.fig6b ~jobs ~scale ()));
+    ("fig6c", fun ~jobs ~scale -> ignore (Experiments.fig6c ~jobs ~scale ()));
+    ("fig7a", fun ~jobs ~scale -> ignore (Experiments.fig7a ~jobs ~scale ()));
+    ("fig7b", fun ~jobs ~scale -> ignore (Experiments.fig7b ~jobs ~scale ()));
+    ("fig7c", fun ~jobs ~scale -> ignore (Experiments.fig7c ~jobs ~scale ()));
+    ("fig8", fun ~jobs ~scale -> ignore (Experiments.fig8 ~jobs ~scale ()));
+    ("ablations", fun ~jobs ~scale -> ignore (Experiments.ablations ~jobs ~scale ()));
+    ("internals", fun ~jobs:_ ~scale -> ignore (Experiments.ncc_internals ~scale ()));
+    ( "replication",
+      fun ~jobs ~scale -> ignore (Experiments.replication ~jobs ~scale ()) );
+    ("geo", fun ~jobs ~scale -> ignore (Experiments.geo ~jobs ~scale ()));
   ]
 
 (* Case-insensitive protocol lookup ("ncc", "NCC" and "Ncc" all name
@@ -70,6 +71,20 @@ let protocol_conv =
   in
   let print ppf (n, _) = Format.pp_print_string ppf n in
   Arg.conv (parse, print)
+
+(* Shared --jobs argument: 1 = sequential (the default, so goldens and
+   CI are untouched unless opted in), 0 = one worker per available
+   core, N > 1 = that many domains. Parallel output is byte-identical
+   to sequential — see docs/performance.md. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent simulations on N domains (0 = one per core; default \
+           sequential). Output is byte-identical to --jobs 1.")
+
+let resolve_jobs n = if n = 0 then Harness.Pool.cpu_count () else max 1 n
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -283,7 +298,7 @@ let chaos_cmd =
       value & flag
       & info [ "no-crashes" ] ~doc:"Restrict schedules to network faults only.")
   in
-  let f (pname, p) wname seeds replay replicas no_crashes =
+  let f (pname, p) wname seeds replay replicas no_crashes jobs =
     let base =
       { Harness.Chaos.base_default with Harness.Runner.replicas_per_server = replicas }
     in
@@ -293,14 +308,6 @@ let chaos_cmd =
       Printf.eprintf "unknown workload %S\n" wname;
       exit 2
     | Some mk ->
-      let run_seed seed =
-        let r = Harness.Chaos.run ~allow_crashes ~base p (mk ()) ~seed in
-        Format.printf "%a@." Harness.Chaos.pp_report r;
-        if not r.Harness.Chaos.ok then
-          Printf.printf "  replay: %s\n"
-            (Harness.Chaos.replay_command ~protocol:pname ~workload:wname ~seed);
-        r.Harness.Chaos.ok
-      in
       (match replay with
        | Some seed ->
          let r = Harness.Chaos.run ~allow_crashes ~base p (mk ()) ~seed in
@@ -308,13 +315,31 @@ let chaos_cmd =
            Cluster.Faults.pp r.Harness.Chaos.faults;
          if not r.Harness.Chaos.ok then exit 1
        | None ->
-         let oks = List.init seeds (fun i -> run_seed (i + 1)) in
-         let failed = List.length (List.filter not oks) in
+         (* the matrix runs (possibly in parallel) first; reports print
+            afterwards in seed order, identically for any --jobs *)
+         let reports =
+           Harness.Chaos.run_matrix ~jobs:(resolve_jobs jobs) ~allow_crashes ~base p
+             ~workload:mk
+             ~seeds:(List.init seeds (fun i -> i + 1))
+         in
+         List.iter
+           (fun r ->
+             Format.printf "%a@." Harness.Chaos.pp_report r;
+             if not r.Harness.Chaos.ok then
+               Printf.printf "  replay: %s\n"
+                 (Harness.Chaos.replay_command ~protocol:pname ~workload:wname
+                    ~seed:r.Harness.Chaos.seed))
+           reports;
+         let failed =
+           List.length (List.filter (fun r -> not r.Harness.Chaos.ok) reports)
+         in
          Printf.printf "%d/%d seeds passed\n" (seeds - failed) seeds;
          if failed > 0 then exit 1)
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes)
+    Term.(
+      const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes
+      $ jobs_arg)
 
 (* --- trace / profile ---------------------------------------------------- *)
 
@@ -467,11 +492,11 @@ let fig_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small cluster, shorter runs.")
   in
-  let f (_, fig) quick =
+  let f (_, fig) quick jobs =
     let scale = if quick then Experiments.quick_scale else Experiments.full_scale in
-    fig ~scale
+    fig ~jobs:(resolve_jobs jobs) ~scale
   in
-  Cmd.v (Cmd.info "fig" ~doc) Term.(const f $ fig_arg $ quick_arg)
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const f $ fig_arg $ quick_arg $ jobs_arg)
 
 let () =
   let doc = "NCC (OSDI 2023) reproduction: simulated strictly serializable datastores" in

@@ -36,16 +36,102 @@ let local_ns ctx = Sim.Clock.read_ns ctx.clock ~now:(Sim.Engine.now ctx.engine)
 
 let now ctx = Sim.Engine.now ctx.engine
 
+(* The inbox is a ring buffer over parallel arrays rather than a
+   [Queue.t] of tuples: enqueueing a message then costs zero
+   allocations (the tuple, its boxed float, and the queue cell all
+   disappear), which matters because every simulated message passes
+   through here exactly once. Slots carry the source node, the message,
+   the enqueue time, and whether the node was occupied at enqueue
+   (drives the "queued" span without re-deriving it from float
+   arithmetic at service time). Capacities are powers of two so the
+   index wrap is a mask. [ib_dummy] is the first message ever enqueued;
+   popped and cleared slots are repointed at it so the ring does not
+   retain handled messages. *)
+type 'msg inbox = {
+  mutable ib_srcs : int array;
+  mutable ib_msgs : 'msg array;
+  mutable ib_enqs : float array;  (* flat float array: unboxed *)
+  mutable ib_queued : Bytes.t;
+  mutable ib_head : int;
+  mutable ib_len : int;
+  mutable ib_dummy : 'msg option;
+}
+
+let ib_create () =
+  {
+    ib_srcs = [||];
+    ib_msgs = [||];
+    ib_enqs = [||];
+    ib_queued = Bytes.empty;
+    ib_head = 0;
+    ib_len = 0;
+    ib_dummy = None;
+  }
+
+let ib_is_empty ib = ib.ib_len = 0
+
+let ib_grow ib msg =
+  let cap = Array.length ib.ib_msgs in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let msgs = Array.make ncap msg in
+  let srcs = Array.make ncap 0 in
+  let enqs = Array.make ncap 0.0 in
+  let queued = Bytes.make ncap '\000' in
+  for k = 0 to ib.ib_len - 1 do
+    let i = (ib.ib_head + k) land (cap - 1) in
+    msgs.(k) <- ib.ib_msgs.(i);
+    srcs.(k) <- ib.ib_srcs.(i);
+    enqs.(k) <- ib.ib_enqs.(i);
+    Bytes.set queued k (Bytes.get ib.ib_queued i)
+  done;
+  ib.ib_msgs <- msgs;
+  ib.ib_srcs <- srcs;
+  ib.ib_enqs <- enqs;
+  ib.ib_queued <- queued;
+  ib.ib_head <- 0
+
+let ib_push ib ~src msg ~enq ~was_queued =
+  (match ib.ib_dummy with None -> ib.ib_dummy <- Some msg | Some _ -> ());
+  if ib.ib_len = Array.length ib.ib_msgs then ib_grow ib msg;
+  let i = (ib.ib_head + ib.ib_len) land (Array.length ib.ib_msgs - 1) in
+  ib.ib_srcs.(i) <- src;
+  ib.ib_msgs.(i) <- msg;
+  ib.ib_enqs.(i) <- enq;
+  Bytes.set ib.ib_queued i (if was_queued then '\001' else '\000');
+  ib.ib_len <- ib.ib_len + 1
+
+(* Pop the oldest slot; only call when non-empty. *)
+let ib_pop ib =
+  let i = ib.ib_head in
+  let src = ib.ib_srcs.(i)
+  and msg = ib.ib_msgs.(i)
+  and enq = ib.ib_enqs.(i)
+  and was_queued = Bytes.get ib.ib_queued i = '\001' in
+  (match ib.ib_dummy with Some d -> ib.ib_msgs.(i) <- d | None -> ());
+  ib.ib_head <- (i + 1) land (Array.length ib.ib_msgs - 1);
+  ib.ib_len <- ib.ib_len - 1;
+  (src, msg, enq, was_queued)
+
+(* Drop everything (crash): clears message slots so nothing is
+   retained across the outage. *)
+let ib_clear ib =
+  (match ib.ib_dummy with
+   | Some d ->
+     let cap = Array.length ib.ib_msgs in
+     for k = 0 to ib.ib_len - 1 do
+       ib.ib_msgs.((ib.ib_head + k) land (cap - 1)) <- d
+     done
+   | None -> ());
+  ib.ib_head <- 0;
+  ib.ib_len <- 0
+
 type 'msg node = {
   ctx : 'msg ctx;
   mutable handler : src:Types.node_id -> 'msg -> unit;
   mutable cost : 'msg -> float;
   mutable phase_of : ('msg -> string) option;
       (* observability label for handler-execution spans *)
-  (* src, message, enqueue time, and whether the node was occupied at
-     enqueue (drives the "queued" span without re-deriving it from
-     float arithmetic at service time) *)
-  inbox : (Types.node_id * 'msg * float * bool) Queue.t;
+  inbox : 'msg inbox;
   mutable busy : bool;
   mutable up : bool;
   (* Bumped on every crash; a service completion scheduled before the
@@ -53,6 +139,12 @@ type 'msg node = {
   mutable epoch : int;
   mutable down_until : float;
   mutable on_restart : (unit -> unit) option;
+  (* Fault-free service completion, allocated once per node (see
+     [service]): the in-service message stays at the ring head until
+     completion, and start time / CPU cost ride in [scratch] (a flat
+     float array, so the writes don't box). *)
+  mutable complete : unit -> unit;
+  scratch : float array;
 }
 
 type fault_stats = {
@@ -86,42 +178,75 @@ type 'msg t = {
   mutable busy_time : float array;  (* per-node CPU seconds consumed *)
 }
 
+(* Handler execution at service completion: trace, observability span,
+   then the handler itself. Shared by both service paths. *)
+let finish_service t node ~src msg ~start ~c =
+  if Sim.Trace.active () then
+    Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
+      (Printf.sprintf "node %d handles message from %d" node.ctx.self src);
+  (match t.obs with
+   | Some r ->
+     let name = match node.phase_of with Some f -> f msg | None -> "handle" in
+     Obs.Recorder.complete r ~node:node.ctx.self ~name ~cat:"rpc" ~ts:start
+       ~dur:c
+       ~args:[ ("src", string_of_int src) ]
+       ()
+   | None -> ());
+  node.handler ~src msg
+
+(* Pre-handler bookkeeping at service start; returns the CPU cost. *)
+let start_service t node ~src msg ~enq ~was_queued =
+  let c = node.cost msg in
+  let start = Sim.Engine.now t.net_engine in
+  (match t.obs with
+   | Some r when was_queued ->
+     Obs.Recorder.complete r ~node:node.ctx.self ~name:"queued" ~cat:"net"
+       ~ts:enq ~dur:(start -. enq)
+       ~args:[ ("src", string_of_int src) ]
+       ()
+   | Some _ | None -> ());
+  t.busy_time.(node.ctx.self) <- t.busy_time.(node.ctx.self) +. c;
+  c
+
 let rec service t node =
-  if node.up && (not node.busy) && not (Queue.is_empty node.inbox) then begin
+  if node.up && (not node.busy) && not (ib_is_empty node.inbox) then begin
     node.busy <- true;
-    let src, msg, enq, was_queued = Queue.pop node.inbox in
-    let epoch = node.epoch in
-    let c = node.cost msg in
-    let start = Sim.Engine.now t.net_engine in
-    (match t.obs with
-     | Some r when was_queued ->
-       Obs.Recorder.complete r ~node:node.ctx.self ~name:"queued" ~cat:"net"
-         ~ts:enq ~dur:(start -. enq)
-         ~args:[ ("src", string_of_int src) ]
-         ()
-     | Some _ | None -> ());
-    t.busy_time.(node.ctx.self) <- t.busy_time.(node.ctx.self) +. c;
-    Sim.Engine.schedule t.net_engine ~delay:c (fun () ->
-        if node.epoch = epoch then begin
-          if Sim.Trace.active () then
-            Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"handle"
-              (Printf.sprintf "node %d handles message from %d" node.ctx.self
-                 src);
-          (match t.obs with
-           | Some r ->
-             let name =
-               match node.phase_of with Some f -> f msg | None -> "handle"
-             in
-             Obs.Recorder.complete r ~node:node.ctx.self ~name ~cat:"rpc"
-               ~ts:start ~dur:c
-               ~args:[ ("src", string_of_int src) ]
-               ()
-           | None -> ());
-          node.handler ~src msg;
-          node.busy <- false;
-          service t node
-        end)
+    if Faults.is_none t.faults then begin
+      (* Fault-free fast path: no crash can ever cancel or overlap a
+         pending completion, so the per-message completion closure is
+         replaced by [node.complete] (allocated once at construction).
+         The message stays at the ring head until completion pops it;
+         start/cost travel through [node.scratch]. *)
+      let ib = node.inbox in
+      let i = ib.ib_head in
+      let src = ib.ib_srcs.(i)
+      and msg = ib.ib_msgs.(i)
+      and enq = ib.ib_enqs.(i)
+      and was_queued = Bytes.get ib.ib_queued i = '\001' in
+      let c = start_service t node ~src msg ~enq ~was_queued in
+      node.scratch.(0) <- Sim.Engine.now t.net_engine;
+      node.scratch.(1) <- c;
+      Sim.Engine.schedule t.net_engine ~delay:c node.complete
+    end
+    else begin
+      let src, msg, enq, was_queued = ib_pop node.inbox in
+      let epoch = node.epoch in
+      let c = start_service t node ~src msg ~enq ~was_queued in
+      let start = Sim.Engine.now t.net_engine in
+      Sim.Engine.schedule t.net_engine ~delay:c (fun () ->
+          if node.epoch = epoch then begin
+            finish_service t node ~src msg ~start ~c;
+            node.busy <- false;
+            service t node
+          end)
+    end
   end
+
+and complete_fast t node () =
+  let src, msg, _enq, _was_queued = ib_pop node.inbox in
+  finish_service t node ~src msg ~start:node.scratch.(0) ~c:node.scratch.(1);
+  node.busy <- false;
+  service t node
 
 let deliver t ~src ~flight node msg =
   let dst = node.ctx.self in
@@ -133,8 +258,8 @@ let deliver t ~src ~flight node msg =
        ~ts:(Sim.Engine.now t.net_engine) ()
    | None -> ());
   if node.up then begin
-    let was_queued = node.busy || not (Queue.is_empty node.inbox) in
-    Queue.push (src, msg, Sim.Engine.now t.net_engine, was_queued) node.inbox;
+    let was_queued = node.busy || not (ib_is_empty node.inbox) in
+    ib_push node.inbox ~src msg ~enq:(Sim.Engine.now t.net_engine) ~was_queued;
     service t node
   end
   else begin
@@ -227,7 +352,7 @@ let crash t id =
   if node.up then begin
     node.up <- false;
     node.epoch <- node.epoch + 1;
-    Queue.clear node.inbox;
+    ib_clear node.inbox;
     node.busy <- false;
     t.n_crashes <- t.n_crashes + 1;
     if Sim.Trace.active () then
@@ -300,12 +425,14 @@ let create ?(faults = Faults.none) ?obs engine rng topo ~latency ~clock_of =
                 handler = (fun ~src:_ _ -> failwith "Net: handler not set");
                 cost = (fun _ -> 0.0);
                 phase_of = None;
-                inbox = Queue.create ();
+                inbox = ib_create ();
                 busy = false;
                 up = true;
                 epoch = 0;
                 down_until = 0.0;
                 on_restart = None;
+                complete = (fun () -> ());
+                scratch = Array.make 2 0.0;
               });
         messages_sent = 0;
         n_dropped = 0;
@@ -316,6 +443,7 @@ let create ?(faults = Faults.none) ?obs engine rng topo ~latency ~clock_of =
       }
   in
   let t = Lazy.force t in
+  Array.iter (fun node -> node.complete <- complete_fast t node) t.nodes;
   (* Split the fault stream only when faults are on: the fault-free
      configuration must consume exactly the historical RNG draws. *)
   if not (Faults.is_none faults) then begin

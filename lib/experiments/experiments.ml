@@ -96,22 +96,54 @@ let print_row name (r : Runner.result) =
     (100.0 *. abort_rate r)
     r.Runner.max_utilization
 
+(* --- sweep fan-out ---------------------------------------------------- *)
+
+(* Every sweep is a flat grid of self-contained (protocol, cell) jobs
+   fanned through Harness.Pool and merged back in canonical
+   (protocol-major) order. Workloads are constructed *inside* each job,
+   never shared across cells: a shared workload instance would let one
+   cell's generator state leak into the next (TPC-C's order-id counters
+   did exactly that), making a row depend on its position in the sweep
+   and on the degree of parallelism. With per-job construction each row
+   is independently replayable and identical for any --jobs. *)
+
+let split_at n l =
+  let rec go n acc l =
+    if n = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: xs -> go (n - 1) (x :: acc) xs
+  in
+  go n [] l
+
+(* Chunk [rows] back into per-protocol curves ([per] cells each). *)
+let regroup ~per protocols rows =
+  let rec go rows = function
+    | [] -> []
+    | (name, _) :: ps ->
+      let mine, rest = split_at per rows in
+      (name, mine) :: go rest ps
+  in
+  go rows protocols
+
 (* --- Figure 6: latency vs throughput curves -------------------------- *)
 
 (* Sweep offered load for each protocol; the curve of (committed
-   throughput, median latency) is what Fig 6 plots. *)
-let latency_throughput ?(protocols = strict_protocols) ~workload ~loads scale =
-  List.map
-    (fun (name, p) ->
-      let rows =
-        List.map
-          (fun load ->
-            let cfg = { (base_cfg scale) with Runner.offered_load = load } in
-            (load, Runner.run ~label:name p workload cfg))
-          loads
-      in
-      (name, rows))
-    protocols
+   throughput, median latency) is what Fig 6 plots. [workload] is a
+   factory invoked once per job (see the fan-out note above). *)
+let latency_throughput ?(jobs = 1) ?(protocols = strict_protocols) ~workload ~loads
+    scale =
+  let cells =
+    List.concat_map
+      (fun (name, p) -> List.map (fun load -> (name, p, load)) loads)
+      protocols
+  in
+  let rows =
+    Harness.Pool.map ~jobs
+      (fun (name, p, load) ->
+        let cfg = { (base_cfg scale) with Runner.offered_load = load } in
+        (load, Runner.run ~label:name p (workload ()) cfg))
+      cells
+  in
+  regroup ~per:(List.length loads) protocols rows
 
 let print_curves curves =
   print_curve_header ();
@@ -121,29 +153,30 @@ let print_curves curves =
       print_newline ())
     curves
 
-let fig6a ?(scale = full_scale)
+let fig6a ?(jobs = 1) ?(scale = full_scale)
     ?(loads = [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ]) () =
   header "Fig 6a: Google-F1, latency vs throughput";
-  let w = Workload.Google_f1.make () in
-  let curves = latency_throughput ~workload:w ~loads scale in
+  let w () = Workload.Google_f1.make () in
+  let curves = latency_throughput ~jobs ~workload:w ~loads scale in
   print_curves curves;
   export_curves "fig6a" curves;
   curves
 
-let fig6b ?(scale = full_scale) ?(loads = [ 4_000.; 10_000.; 18_000.; 28_000.; 40_000. ])
-    () =
+let fig6b ?(jobs = 1) ?(scale = full_scale)
+    ?(loads = [ 4_000.; 10_000.; 18_000.; 28_000.; 40_000. ]) () =
   header "Fig 6b: Facebook-TAO, latency vs throughput";
-  let w = Workload.Facebook_tao.make () in
-  let curves = latency_throughput ~workload:w ~loads scale in
+  let w () = Workload.Facebook_tao.make () in
+  let curves = latency_throughput ~jobs ~workload:w ~loads scale in
   print_curves curves;
   export_curves "fig6b" curves;
   curves
 
-let fig6c ?(scale = full_scale) ?(loads = [ 4_000.; 9_000.; 15_000.; 21_000.; 27_000. ]) () =
+let fig6c ?(jobs = 1) ?(scale = full_scale)
+    ?(loads = [ 4_000.; 9_000.; 15_000.; 21_000.; 27_000. ]) () =
   header "Fig 6c: TPC-C (New-Order reported), latency vs throughput";
-  let w = Workload.Tpcc.make ~n_servers:scale.n_servers () in
+  let w () = Workload.Tpcc.make ~n_servers:scale.n_servers () in
   (* TAPIR-CC is not evaluated on TPC-C in the paper; same here. *)
-  let curves = latency_throughput ~workload:w ~loads scale in
+  let curves = latency_throughput ~jobs ~workload:w ~loads scale in
   print_curves curves;
   export_curves "fig6c" curves;
   curves
@@ -168,7 +201,7 @@ let measured_peak = function
   | "MVTO" -> 47_000.0
   | _ -> 20_000.0
 
-let fig7a ?(scale = full_scale)
+let fig7a ?(jobs = 1) ?(scale = full_scale)
     ?(write_fractions = [ 0.003; 0.01; 0.03; 0.10; 0.30 ])
     ?(load_of = measured_peak) () =
   header "Fig 7a: Google-WF, normalized throughput vs write fraction";
@@ -176,25 +209,25 @@ let fig7a ?(scale = full_scale)
      fence (whose fast-path aborts grow with the write rate — the
      degradation the paper reports) and with the default per-key fence. *)
   let protocols = ("NCC-sfence", Ncc.protocol_server_fence) :: strict_protocols in
-  let results =
-    List.map
-      (fun (name, p) ->
-        let rows =
-          List.map
-            (fun wf ->
-              let w = Workload.Google_f1.make_wf ~write_fraction:wf () in
-              let cfg =
-                (* measured peaks are open-loop back-pressure points
-                   (~85% of true capacity); 0.9x of that is the paper's
-                   "~75% load" operating point *)
-                { (base_cfg scale) with Runner.offered_load = 0.9 *. load_of name }
-              in
-              (wf, Runner.run ~label:name p w cfg))
-            write_fractions
-        in
-        (name, rows))
+  let cells =
+    List.concat_map
+      (fun (name, p) -> List.map (fun wf -> (name, p, wf)) write_fractions)
       protocols
   in
+  let rows =
+    Harness.Pool.map ~jobs
+      (fun (name, p, wf) ->
+        let w = Workload.Google_f1.make_wf ~write_fraction:wf () in
+        let cfg =
+          (* measured peaks are open-loop back-pressure points
+             (~85% of true capacity); 0.9x of that is the paper's
+             "~75% load" operating point *)
+          { (base_cfg scale) with Runner.offered_load = 0.9 *. load_of name }
+        in
+        (wf, Runner.run ~label:name p w cfg))
+      cells
+  in
+  let results = regroup ~per:(List.length write_fractions) protocols rows in
   Printf.printf "%-10s" "protocol";
   List.iter (fun wf -> Printf.printf " %8.1f%%" (100.0 *. wf)) write_fractions;
   Printf.printf "   (normalized throughput)\n";
@@ -233,12 +266,13 @@ let fig7a ?(scale = full_scale)
 
 (* --- Figure 7b: serializable baselines -------------------------------- *)
 
-let fig7b ?(scale = full_scale)
+let fig7b ?(jobs = 1) ?(scale = full_scale)
     ?(loads = [ 5_000.; 12_000.; 20_000.; 32_000.; 45_000. ]) () =
   header "Fig 7b: Google-F1, NCC vs serializable TAPIR-CC / MVTO";
-  let w = Workload.Google_f1.make () in
+  let w () = Workload.Google_f1.make () in
   let curves =
-    latency_throughput ~protocols:serializable_protocols ~workload:w ~loads scale
+    latency_throughput ~jobs ~protocols:serializable_protocols ~workload:w ~loads
+      scale
   in
   print_curves curves;
   export_curves "fig7b" curves;
@@ -246,12 +280,13 @@ let fig7b ?(scale = full_scale)
 
 (* --- Figure 7c: client-failure recovery ------------------------------- *)
 
-let fig7c ?(scale = full_scale) ?(timeouts = [ 1.0; 3.0 ]) ?(load = 15_000.0) () =
+let fig7c ?(jobs = 1) ?(scale = full_scale) ?(timeouts = [ 1.0; 3.0 ])
+    ?(load = 15_000.0) () =
   header "Fig 7c: client failures at t=10s, NCC-RW throughput over time";
-  let w = Workload.Google_f1.make () in
   let results =
-    List.map
+    Harness.Pool.map ~jobs
       (fun timeout ->
+        let w = Workload.Google_f1.make () in
         let p =
           Ncc.make_protocol
             ~config:
@@ -309,7 +344,7 @@ let fig7c ?(scale = full_scale) ?(timeouts = [ 1.0; 3.0 ]) ?(load = 15_000.0) ()
 (* Measured on a low-contention one-shot micro-workload: latency in
    RTTs (median latency / simulated RTT), messages per committed
    transaction and the false-abort rate. *)
-let fig8 ?(scale = full_scale) () =
+let fig8 ?(jobs = 1) ?(scale = full_scale) () =
   header "Fig 8: measured best-case properties (low-contention one-shot)";
   let one_way = 250e-6 in
   let rtt = 2.0 *. one_way in
@@ -329,36 +364,47 @@ let fig8 ?(scale = full_scale) () =
         label;
       }
   in
-  let ro_probe = probe ~write_fraction:0.0 ~label:"props-ro" in
-  let rw_probe = probe ~write_fraction:1.0 ~label:"props-rw" in
   let all =
     strict_protocols @ [ ("TAPIR-CC", Baselines.tapir_cc); ("MVTO", Baselines.mvto) ]
   in
   Printf.printf "%-10s %8s %8s %10s %10s %12s %12s\n" "protocol" "RO(RTT)" "RW(RTT)"
     "RO msg/t" "RW msg/t" "false-abort%" "consistency";
-  let rows =
-    List.map
-      (fun (name, p) ->
-        let run w =
-          let cfg =
-            {
-              (base_cfg scale) with
-              Runner.offered_load = 2_000.0;
-              latency = Runner.Uniform { one_way; jitter = 5e-6 };
-            }
-          in
-          Runner.run ~label:name p w cfg
-        in
-        let ro = run ro_probe and rw = run rw_probe in
-        let strict = name <> "TAPIR-CC" && name <> "MVTO" in
-        Printf.printf "%-10s %8.2f %8.2f %10.1f %10.1f %11.2f%% %12s\n" name
-          (ro.Runner.p50 /. rtt) (rw.Runner.p50 /. rtt) ro.Runner.msgs_per_commit
-          rw.Runner.msgs_per_commit
-          (100.0 *. abort_rate rw)
-          (if strict then "strict-ser" else "ser");
-        (name, ro, rw))
-      all
+  (* one job per (protocol, probe) cell; probes are built inside the job *)
+  let cells =
+    List.concat_map (fun (name, p) -> [ (name, p, true); (name, p, false) ]) all
   in
+  let runs =
+    Harness.Pool.map ~jobs
+      (fun (name, p, ro) ->
+        let w =
+          if ro then probe ~write_fraction:0.0 ~label:"props-ro"
+          else probe ~write_fraction:1.0 ~label:"props-rw"
+        in
+        let cfg =
+          {
+            (base_cfg scale) with
+            Runner.offered_load = 2_000.0;
+            latency = Runner.Uniform { one_way; jitter = 5e-6 };
+          }
+        in
+        Runner.run ~label:name p w cfg)
+      cells
+  in
+  let rec pair names runs =
+    match (names, runs) with
+    | (name, _) :: ns, ro :: rw :: rs -> (name, ro, rw) :: pair ns rs
+    | _ -> []
+  in
+  let rows = pair all runs in
+  List.iter
+    (fun (name, ro, rw) ->
+      let strict = name <> "TAPIR-CC" && name <> "MVTO" in
+      Printf.printf "%-10s %8.2f %8.2f %10.1f %10.1f %11.2f%% %12s\n" name
+        (ro.Runner.p50 /. rtt) (rw.Runner.p50 /. rtt) ro.Runner.msgs_per_commit
+        rw.Runner.msgs_per_commit
+        (100.0 *. abort_rate rw)
+        (if strict then "strict-ser" else "ser"))
+    rows;
   rows
 
 (* --- §5.3 inline statistics -------------------------------------------- *)
@@ -385,12 +431,12 @@ let ncc_internals ?(scale = full_scale) ?(load = 15_000.0) () =
 
 (* --- ablations (DESIGN.md §5) ------------------------------------------- *)
 
-let ablations ?(scale = full_scale) ?(load = 15_000.0) () =
+let ablations ?(jobs = 1) ?(scale = full_scale) ?(load = 15_000.0) () =
   header "Ablations: NCC optimizations (hot keys, 15% writes, 5ms clock skew)";
   (* an adversarial setting where the timestamp optimizations earn
      their keep: skewed clients writing hot keys make pre-assigned
      timestamps disagree with arrival order *)
-  let w =
+  let w () =
     Workload.Micro.make
       {
         Workload.Micro.n_keys = 50_000;
@@ -415,19 +461,21 @@ let ablations ?(scale = full_scale) ?(load = 15_000.0) () =
     ]
   in
   print_curve_header ();
-  List.map
-    (fun (name, p) ->
-      let cfg =
-        {
-          (base_cfg scale) with
-          Runner.offered_load = load;
-          max_clock_offset = 5e-3;
-        }
-      in
-      let r = Runner.run ~label:name p w cfg in
-      print_row name r;
-      (name, r))
-    protocols
+  let results =
+    Harness.Pool.map ~jobs
+      (fun (name, p) ->
+        let cfg =
+          {
+            (base_cfg scale) with
+            Runner.offered_load = load;
+            max_clock_offset = 5e-3;
+          }
+        in
+        (name, Runner.run ~label:name p (w ()) cfg))
+      protocols
+  in
+  List.iter (fun (name, r) -> print_row name r) results;
+  results
 
 (* --- replication (§4.6 + the paper's future-work optimization) ---------- *)
 
@@ -438,12 +486,12 @@ let ablations ?(scale = full_scale) ?(load = 15_000.0) () =
    We run NCC unreplicated, NCC-R (every state change replicated to 2
    replicas per server before its response releases), and NCC-R with
    replication deferred to the last shot (§4.6's sketched optimization). *)
-let replication ?(scale = full_scale) ?(load = 10_000.0) () =
+let replication ?(jobs = 1) ?(scale = full_scale) ?(load = 10_000.0) () =
   header "Replication (§4.6): NCC vs NCC-R vs deferred replication";
   (* TPC-C: its multi-shot transactions are where deferring replication
      to the last shot saves proposals (F1 is one-shot, so the two modes
      coincide there). *)
-  let w = Workload.Tpcc.make ~n_servers:scale.n_servers () in
+  let w () = Workload.Tpcc.make ~n_servers:scale.n_servers () in
   let variants =
     [
       ("NCC", Ncc.protocol, 0);
@@ -453,23 +501,28 @@ let replication ?(scale = full_scale) ?(load = 10_000.0) () =
   in
   Printf.printf "%-10s %9s %9s %8s %9s %10s\n" "variant" "p50(ms)" "p99(ms)" "abort%"
     "msg/txn" "proposals";
-  List.map
-    (fun (name, p, replicas) ->
-      let cfg =
-        {
-          (base_cfg scale) with
-          Runner.offered_load = load;
-          replicas_per_server = replicas;
-        }
-      in
-      let r = Runner.run ~label:name p w cfg in
+  let results =
+    Harness.Pool.map ~jobs
+      (fun (name, p, replicas) ->
+        let cfg =
+          {
+            (base_cfg scale) with
+            Runner.offered_load = load;
+            replicas_per_server = replicas;
+          }
+        in
+        (name, Runner.run ~label:name p (w ()) cfg))
+      variants
+  in
+  List.iter
+    (fun (name, r) ->
       Printf.printf "%-10s %9.2f %9.2f %7.2f%% %9.1f %10.0f\n" name
         (r.Runner.p50 *. 1e3) (r.Runner.p99 *. 1e3)
         (100.0 *. abort_rate r)
         r.Runner.msgs_per_commit
-        (Option.value ~default:0.0 (List.assoc_opt "proposed" r.Runner.counters));
-      (name, r))
-    variants
+        (Option.value ~default:0.0 (List.assoc_opt "proposed" r.Runner.counters)))
+    results;
+  results
 
 (* --- geo-replication: within vs across datacenters ------------------- *)
 
@@ -478,9 +531,9 @@ let replication ?(scale = full_scale) ?(load = 10_000.0) () =
    trip before responses release; cross-DC replicas cost a wide-area
    one. Abort rates stay flat in both cases — the §4.6 argument doesn't
    care where the replicas are. *)
-let geo ?(scale = full_scale) ?(load = 8_000.0) ?(wide = 20e-3) () =
+let geo ?(jobs = 1) ?(scale = full_scale) ?(load = 8_000.0) ?(wide = 20e-3) () =
   header "Geo-replication: local vs cross-datacenter replica groups";
-  let w = Workload.Google_f1.make_wf ~write_fraction:0.05 () in
+  let w () = Workload.Google_f1.make_wf ~write_fraction:0.05 () in
   (* election timeouts must dominate the replica round trip *)
   let geo_p =
     Ncc_r.make_protocol
@@ -498,23 +551,28 @@ let geo ?(scale = full_scale) ?(load = 8_000.0) ?(wide = 20e-3) () =
     ]
   in
   Printf.printf "%-12s %9s %9s %8s\n" "variant" "p50(ms)" "p99(ms)" "abort%";
-  List.map
-    (fun (name, p, replicas, latency) ->
-      let base = base_cfg scale in
-      let cfg =
-        {
-          base with
-          Runner.offered_load = load;
-          replicas_per_server = replicas;
-          latency = Option.value ~default:base.Runner.latency latency;
-        }
-      in
-      let r = Runner.run ~label:name p w cfg in
+  let results =
+    Harness.Pool.map ~jobs
+      (fun (name, p, replicas, latency) ->
+        let base = base_cfg scale in
+        let cfg =
+          {
+            base with
+            Runner.offered_load = load;
+            replicas_per_server = replicas;
+            latency = Option.value ~default:base.Runner.latency latency;
+          }
+        in
+        (name, Runner.run ~label:name p (w ()) cfg))
+      variants
+  in
+  List.iter
+    (fun (name, r) ->
       Printf.printf "%-12s %9.2f %9.2f %7.2f%%\n" name (r.Runner.p50 *. 1e3)
         (r.Runner.p99 *. 1e3)
-        (100.0 *. abort_rate r);
-      (name, r))
-    variants
+        (100.0 *. abort_rate r))
+    results;
+  results
 
 (* --- the paper's workload-parameter tables (Figs 4 and 5) --------------- *)
 

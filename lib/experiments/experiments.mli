@@ -25,61 +25,71 @@ val abort_rate : Runner.result -> float
     (measured by the Fig 6a sweep); drives the Fig 7a load choice. *)
 val measured_peak : string -> float
 
-(** Latency-vs-throughput sweep (the Fig 6 shape). *)
+(** Latency-vs-throughput sweep (the Fig 6 shape). [workload] is a
+    factory invoked once per (protocol, load) cell, so every cell is
+    self-contained — a prerequisite for fanning the sweep across
+    domains, and what makes each row independent of its position in
+    the sweep. [jobs] > 1 runs cells on a {!Harness.Pool}; results are
+    merged in canonical order and byte-identical to [jobs = 1]. *)
 val latency_throughput :
+  ?jobs:int ->
   ?protocols:(string * Harness.Protocol.t) list ->
-  workload:Harness.Workload_sig.t ->
+  workload:(unit -> Harness.Workload_sig.t) ->
   loads:float list ->
   scale ->
   (string * (float * Runner.result) list) list
 
 val fig6a :
-  ?scale:scale -> ?loads:float list -> unit ->
+  ?jobs:int -> ?scale:scale -> ?loads:float list -> unit ->
   (string * (float * Runner.result) list) list
 
 val fig6b :
-  ?scale:scale -> ?loads:float list -> unit ->
+  ?jobs:int -> ?scale:scale -> ?loads:float list -> unit ->
   (string * (float * Runner.result) list) list
 
 val fig6c :
-  ?scale:scale -> ?loads:float list -> unit ->
+  ?jobs:int -> ?scale:scale -> ?loads:float list -> unit ->
   (string * (float * Runner.result) list) list
 
 (** Write-fraction sweep at ~75% of each system's own peak load. *)
 val fig7a :
-  ?scale:scale -> ?write_fractions:float list -> ?load_of:(string -> float) -> unit ->
+  ?jobs:int -> ?scale:scale -> ?write_fractions:float list ->
+  ?load_of:(string -> float) -> unit ->
   (string * (float * Runner.result) list) list
 
 val fig7b :
-  ?scale:scale -> ?loads:float list -> unit ->
+  ?jobs:int -> ?scale:scale -> ?loads:float list -> unit ->
   (string * (float * Runner.result) list) list
 
 (** Client-failure injection at t=10s with the given recovery timeouts;
     returns the per-timeout results (with commit-rate time series). *)
 val fig7c :
-  ?scale:scale -> ?timeouts:float list -> ?load:float -> unit ->
+  ?jobs:int -> ?scale:scale -> ?timeouts:float list -> ?load:float -> unit ->
   (float * Runner.result) list
 
 (** Measured best-case properties table (latency in RTTs, messages per
     transaction, false aborts) on low-contention one-shot probes. *)
 val fig8 :
-  ?scale:scale -> unit -> (string * Runner.result * Runner.result) list
+  ?jobs:int -> ?scale:scale -> unit -> (string * Runner.result * Runner.result) list
 
 (** The §5.3 inline statistics (safeguard pass rate etc.). *)
 val ncc_internals : ?scale:scale -> ?load:float -> unit -> Runner.result
 
 (** NCC optimization ablations (smart retry, asynchrony-aware
     timestamps, read-only fast path). *)
-val ablations : ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
+val ablations :
+  ?jobs:int -> ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
 
 (** Replication study (§4.6): NCC vs NCC-R (every state change
     replicated to 2 replicas/server) vs deferred replication. Verifies
     "latency up, aborts unchanged". *)
-val replication : ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
+val replication :
+  ?jobs:int -> ?scale:scale -> ?load:float -> unit -> (string * Runner.result) list
 
 (** Geo-replication: local vs cross-datacenter replica groups. *)
 val geo :
-  ?scale:scale -> ?load:float -> ?wide:float -> unit -> (string * Runner.result) list
+  ?jobs:int -> ?scale:scale -> ?load:float -> ?wide:float -> unit ->
+  (string * Runner.result) list
 
 (** Print the paper's Fig 4 / Fig 5 workload-parameter tables. *)
 val params : unit -> unit

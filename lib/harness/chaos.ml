@@ -68,6 +68,16 @@ let run ?allow_crashes ?base protocol workload ~seed =
     faults = cfg.Runner.faults;
   }
 
+(* Run a whole seed matrix, optionally across domains. Each job is
+   self-contained — it builds its own workload from the factory and its
+   own config from the seed — and the digest machinery is domain-local,
+   so reports are identical for any [jobs]; they come back in the order
+   of [seeds]. *)
+let run_matrix ?(jobs = 1) ?allow_crashes ?base protocol ~workload ~seeds =
+  Pool.map ~jobs
+    (fun seed -> run ?allow_crashes ?base protocol (workload ()) ~seed)
+    seeds
+
 let replay_command ~protocol ~workload ~seed =
   Printf.sprintf "ncc_sim chaos -p %s -w %s --replay %d" protocol workload seed
 

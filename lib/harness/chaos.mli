@@ -35,6 +35,19 @@ val run :
 (** Run one chaos simulation. Same seed, same protocol, same workload
     => identical trace digest. *)
 
+val run_matrix :
+  ?jobs:int ->
+  ?allow_crashes:bool ->
+  ?base:Runner.config ->
+  Protocol.t ->
+  workload:(unit -> Workload_sig.t) ->
+  seeds:int list ->
+  report list
+(** Run the whole seed matrix, across [jobs] domains when [jobs > 1]
+    (default sequential). Each seed's run builds its own workload from
+    the factory and is fully self-contained, so the report list is
+    identical for any [jobs] and ordered like [seeds]. *)
+
 val replay_command : protocol:string -> workload:string -> seed:int -> string
 (** The shell command that reproduces the run for [seed]. *)
 

@@ -45,6 +45,12 @@ let profile_json (r : Runner.result) (mx : Metrics.t) =
 let bench_row ~experiment (r : Runner.result) =
   Jsonw.Obj [ ("experiment", Jsonw.Str experiment); ("result", result_json r) ]
 
+(* Microbench rows carry host-measured timings: unlike simulation rows
+   they are not deterministic across runs. *)
+let micro_row ~name ~ns_per_run =
+  Jsonw.Obj
+    [ ("experiment", Jsonw.Str ("micro:" ^ name)); ("ns_per_run", Jsonw.Float ns_per_run) ]
+
 let bench_doc ~suite rows =
   Jsonw.to_string
     (Jsonw.Obj [ ("suite", Jsonw.Str suite); ("rows", Jsonw.List rows) ])

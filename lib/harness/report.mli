@@ -12,5 +12,10 @@ val profile_json : Runner.result -> Obs.Metrics.t -> string
 (** One bench row ([experiment] names the configuration measured). *)
 val bench_row : experiment:string -> Runner.result -> Obs.Jsonw.t
 
+(** One microbenchmark row (host nanoseconds per run, so unlike
+    simulation rows it varies between hosts and runs; keep micro out
+    of any byte-diff parity check). *)
+val micro_row : name:string -> ns_per_run:float -> Obs.Jsonw.t
+
 (** A whole BENCH_*.json document. *)
 val bench_doc : suite:string -> Obs.Jsonw.t list -> string

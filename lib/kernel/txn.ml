@@ -28,12 +28,16 @@ type t = {
   bytes : int;              (* approximate payload size, for cost model *)
 }
 
-(* ncc-lint: allow R5 — global txn-id source; Runner.run calls reset_ids *)
-let next_id = ref 0
+(* Txn ids are drawn from a domain-local counter: Runner.run calls
+   [reset_ids] at the start of every run, so ids are a pure function of
+   the run, and parallel sweeps (one run per domain at a time) cannot
+   race on it. *)
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_ids () = next_id := 0
+let reset_ids () = Domain.DLS.get next_id := 0
 
 let make ?(label = "txn") ?(bytes = 64) ?dynamic ~client shots =
+  let next_id = Domain.DLS.get next_id in
   incr next_id;
   let read_only =
     Option.is_none dynamic

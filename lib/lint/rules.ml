@@ -32,7 +32,12 @@
          Protocol.S handler entry point to an ambient effect
          (randomness, wall clock, I/O, top-level mutation);
      R10 protocol [msg] constructor liveness: a constructor never
-         built or never matched is a dead protocol message.
+         built or never matched is a dead protocol message;
+     R11 parallel-sweep isolation: a binding that hands closures to
+         the domain pool (Harness.Pool.submit/map) must not be able to
+         reach top-level mutable state — shared state would make the
+         parallel schedule observable and break the guarantee that
+         results are identical for any --jobs.
 
    A rule names either forbidden identifier prefixes or exact forbidden
    identifiers, selects one of two structural checks (top-level
@@ -48,6 +53,7 @@ type typed_check =
   | Float_time    (* R8 *)
   | Handler_effects  (* R9 *)
   | Msg_liveness  (* R10 *)
+  | Pool_captures  (* R11 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -175,6 +181,15 @@ let all : rule list =
       matcher = Typed Msg_liveness;
       allowed_files = [];
     };
+    {
+      id = "R11";
+      severity = Error;
+      summary =
+        "work submitted to the domain pool can reach top-level mutable \
+         state; jobs must be self-contained";
+      matcher = Typed Pool_captures;
+      allowed_files = [ "lib/harness/pool.ml" ];
+    };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
@@ -253,3 +268,10 @@ let effect_allowed_files = function
 
 (* R10: variant types with this name are protocol message types. *)
 let msg_type_name = "msg"
+
+(* R11: entry points of the domain pool — a binding that references one
+   of these hands work to other domains, so its reachable effect
+   footprint (computed on the R9 call graph) must contain no top-level
+   mutation. Matched by whole-component path suffix, like
+   [poly_compare_fns]. *)
+let pool_submit_fns = [ "Pool.submit"; "Pool.map" ]

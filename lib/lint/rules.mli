@@ -1,4 +1,4 @@
-(* The determinism rule set R1-R10, encoded as data, plus the
+(* The determinism rule set R1-R11, encoded as data, plus the
    registries the typed rules key on. docs/determinism.md is the
    prose counterpart. *)
 
@@ -11,6 +11,7 @@ type typed_check =
   | Float_time  (* R8 *)
   | Handler_effects  (* R9 *)
   | Msg_liveness  (* R10 *)
+  | Pool_captures  (* R11 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -58,3 +59,7 @@ val effect_allowed_files :
 
 (* R10: variant types with this name are protocol message types. *)
 val msg_type_name : string
+
+(* R11: the domain pool's entry points; a binding referencing one must
+   have no top-level mutation in its reachable effect footprint. *)
+val pool_submit_fns : string list

@@ -18,7 +18,12 @@
          the full call chain as evidence — for every path from a
          Protocol.S handler entry point to an effect;
      R10 liveness of protocol [msg] variant constructors: never built
-         or never matched means a dead protocol message.
+         or never matched means a dead protocol message;
+     R11 parallel-sweep isolation: reusing the R9 call graph, any
+         binding that references a domain-pool entry point
+         (Rules.pool_submit_fns) is checked for reachable top-level
+         mutation — shared mutable state would let the parallel
+         schedule show through and break --jobs invariance.
 
    Findings are Engine.finding values, so the waiver pragmas and both
    reporters work unchanged. R9 additionally honours *effect-site*
@@ -638,6 +643,20 @@ let is_entry (n : node) =
          && String.sub n.n_file 0 (String.length root) = root)
        Rules.entry_roots
 
+(* A synthetic location at a node's definition site (typed findings
+   anchor on the binding, not the effect — the chain carries the
+   effect's own file:line). *)
+let node_loc (n : node) =
+  let pos =
+    {
+      Lexing.pos_fname = n.n_file;
+      pos_lnum = n.n_line;
+      pos_bol = 0;
+      pos_cnum = n.n_col;
+    }
+  in
+  { Location.loc_ghost = false; loc_start = pos; loc_end = pos }
+
 let report_r9 acc =
   if rule_active acc "R9" then
     List.iter
@@ -646,28 +665,45 @@ let report_r9 acc =
         | Some n when is_entry n ->
           List.iter
             (fun (cat, chain, (a : amb)) ->
-              let loc =
-                {
-                  Location.loc_ghost = false;
-                  loc_start =
-                    {
-                      Lexing.pos_fname = n.n_file;
-                      pos_lnum = n.n_line;
-                      pos_bol = 0;
-                      pos_cnum = n.n_col;
-                    };
-                  loc_end =
-                    {
-                      Lexing.pos_fname = n.n_file;
-                      pos_lnum = n.n_line;
-                      pos_bol = 0;
-                      pos_cnum = n.n_col;
-                    };
-                }
-              in
-              emit acc ~chain ~rule:"R9" ~loc
+              emit acc ~chain ~rule:"R9" ~loc:(node_loc n)
                 (Printf.sprintf "handler %s can reach %s: %s" n.n_key
                    (cat_label cat) a.a_desc))
+            (entry_chains acc n)
+        | _ -> ())
+      (List.sort String.compare acc.k_keys)
+
+(* --- R11: parallel-sweep isolation ------------------------------------ *)
+
+(* A binding that references Pool.submit/Pool.map hands closures to
+   other domains. The closures' bodies are walked as part of the
+   submitting binding, so reachability from that binding on the R9
+   call graph over-approximates reachability from the submitted work;
+   any reachable top-level mutation means the parallel schedule could
+   be observed, breaking the bit-identical --jobs guarantee. The
+   pool's own internals (its result slots) are exempt via
+   [allowed_files]. *)
+let submits_to_pool (n : node) =
+  List.exists
+    (fun r ->
+      List.exists (fun f -> has_suffix ~suffix:f r) Rules.pool_submit_fns)
+    n.n_refs
+
+let report_r11 acc =
+  if rule_active acc "R11" then
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt acc.k_nodes key with
+        | Some n when submits_to_pool n ->
+          List.iter
+            (fun (cat, chain, (a : amb)) ->
+              match cat with
+              | `Mutation ->
+                emit acc ~chain ~rule:"R11" ~loc:(node_loc n)
+                  (Printf.sprintf
+                     "%s submits work to the domain pool but can reach \
+                      top-level mutable state: %s"
+                     n.n_key a.a_desc)
+              | `Random | `Clock | `Io -> ())
             (entry_chains acc n)
         | _ -> ())
       (List.sort String.compare acc.k_keys)
@@ -748,6 +784,7 @@ let lint_units ?only units =
     ctxs;
   report_r9 acc;
   report_r10 acc;
+  report_r11 acc;
   (List.sort Engine.compare_findings acc.k_findings, acc.k_used)
 
 (* --- loading units ----------------------------------------------------- *)

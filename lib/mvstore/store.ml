@@ -1,8 +1,8 @@
 (* The multi-versioned key-value store of Algorithm 4.2.
 
-   Each key holds a chain of versions ordered by creation (newest
-   first). A version carries the (t_w, t_r) timestamp pair the paper's
-   refinement rules maintain:
+   Each key holds a chain of versions ordered by creation. A version
+   carries the (t_w, t_r) timestamp pair the paper's refinement rules
+   maintain:
 
      - a write creates a version with t_w = t_r = max(t, curr.t_r + 1);
      - a read bumps the current version's t_r to max(t, curr.t_r).
@@ -13,9 +13,18 @@
    (MVTO) and committed-snapshot reads; those entry points live here too
    so that every protocol exercises one storage substrate.
 
-   Version ids are globally unique across all store instances of a run
-   (a simulation is single-threaded), which is what lets the checker
-   correlate reads and writes across servers. *)
+   Chains are stored as growable arrays, oldest first (slot 0 is the
+   initial version, the chain terminator). Both write styles keep a
+   chain sorted by t_w: NCC writes append with t_w > curr.t_r >= every
+   existing t_w, and MVTO's [insert_ordered] places its version at the
+   t_w upper bound. That invariant is what lets [version_at] binary
+   search on t_w instead of walking a list, and it turns the
+   most-recent lookup on every read into a single array access.
+
+   Version ids are unique across all store instances of a run (a run
+   executes on one domain; the counter is domain-local so parallel
+   sweeps cannot race on it), which is what lets the checker correlate
+   reads and writes across servers. *)
 
 open Kernel
 
@@ -32,22 +41,32 @@ type version = {
       (* MVTO readers waiting for this version's decision *)
 }
 
+(* Oldest first; [vs.(0)] is the initial version. Invariant: the live
+   prefix [vs.(0 .. n-1)] is sorted by [tw] (nondecreasing). *)
+type chain = { mutable vs : version array; mutable n : int }
+
 type t = {
-  tbl : (Types.key, version list ref) Hashtbl.t;
-      (* newest-first chains; every chain ends with the initial version *)
+  tbl : (Types.key, chain) Hashtbl.t;
+  kc : Types.key Detmap.cache;
+      (* sorted-key cache for whole-store traversals (gc, checker feed):
+         the key universe stabilises after warmup, so revalidation is
+         O(n) with no sort *)
   mutable created : int;  (* versions created by this store (stats) *)
 }
 
-(* ncc-lint: allow R5 — global vid source; Runner.run calls reset_vids *)
-let vid_counter = ref 0
+(* Vid source is domain-local: Runner.run calls [reset_vids] at the
+   start of every run, so vids are a pure function of the run and
+   parallel sweeps (one run per domain at a time) cannot race. *)
+let vid_counter = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_vids () = vid_counter := 0
+let reset_vids () = Domain.DLS.get vid_counter := 0
 
 let fresh_vid () =
-  incr vid_counter;
-  !vid_counter
+  let c = Domain.DLS.get vid_counter in
+  incr c;
+  !c
 
-let create () = { tbl = Hashtbl.create 1024; created = 0 }
+let create () = { tbl = Hashtbl.create 1024; kc = Detmap.cache (); created = 0 }
 
 let initial_version () =
   {
@@ -64,22 +83,47 @@ let chain t key =
   match Hashtbl.find_opt t.tbl key with
   | Some c -> c
   | None ->
-    let c = ref [ initial_version () ] in
+    let c = { vs = Array.make 4 (initial_version ()); n = 1 } in
     Hashtbl.add t.tbl key c;
     c
 
+(* Insert [v] at position [i], shifting the newer suffix right. *)
+let insert_at c i v =
+  if c.n = Array.length c.vs then begin
+    let fresh = Array.make (c.n * 2) v in
+    Array.blit c.vs 0 fresh 0 c.n;
+    c.vs <- fresh
+  end;
+  Array.blit c.vs i c.vs (i + 1) (c.n - i);
+  c.vs.(i) <- v;
+  c.n <- c.n + 1
+
+(* Remove the version at position [i], shifting the newer suffix left.
+   The vacated slot is repointed at the terminator so the array does
+   not retain the unlinked version. *)
+let remove_at c i =
+  Array.blit c.vs (i + 1) c.vs i (c.n - i - 1);
+  c.n <- c.n - 1;
+  c.vs.(c.n) <- c.vs.(0)
+
+(* Index of the version with id [vid] in the live prefix, or -1. *)
+let index_of c vid =
+  let rec find i = if i < 0 then -1 else if c.vs.(i).vid = vid then i else find (i - 1) in
+  find (c.n - 1)
+
 let most_recent t key =
-  match !(chain t key) with
-  | v :: _ -> v
-  | [] -> assert false (* chains always end with the initial version *)
+  let c = chain t key in
+  c.vs.(c.n - 1)
 
 (* Newest committed version (skips undecided heads). *)
 let most_recent_committed t key =
-  let rec find = function
-    | [] -> assert false
-    | v :: rest -> if v.status = Committed then v else find rest
+  let c = chain t key in
+  let rec find i =
+    if i < 0 then assert false (* chains always hold the initial version *)
+    else if c.vs.(i).status = Committed then c.vs.(i)
+    else find (i - 1)
   in
-  find !(chain t key)
+  find (c.n - 1)
 
 (* --- NCC execution (Alg 4.2) ------------------------------------- *)
 
@@ -87,12 +131,12 @@ let most_recent_committed t key =
    undecided version ordered after the current most recent one. *)
 let write t key value ~ts ~writer =
   let c = chain t key in
-  let curr = List.hd !c in
+  let curr = c.vs.(c.n - 1) in
   let tw = Ts.max ts (Ts.succ curr.tr) in
   let v =
     { vid = fresh_vid (); value; tw; tr = tw; status = Undecided; writer; parked = [] }
   in
-  c := v :: !c;
+  insert_at c c.n v;
   t.created <- t.created + 1;
   v
 
@@ -116,7 +160,8 @@ let commit_version v =
 (* Unlink an aborted version from its chain. *)
 let abort_version t key v =
   let c = chain t key in
-  c := List.filter (fun v' -> v'.vid <> v.vid) !c;
+  let i = index_of c v.vid in
+  if i >= 0 then remove_at c i;
   let waiters = v.parked in
   v.parked <- [];
   List.iter (fun f -> f v) waiters
@@ -126,34 +171,40 @@ let abort_version t key v =
 (* The version immediately preceding [v] in the current chain (i.e. the
    one [v] was ordered after, accounting for unlinked aborts). *)
 let prev_version t key v =
-  let rec find = function
-    | [] | [ _ ] -> None
-    | newer :: older :: rest ->
-      if newer.vid = v.vid then Some older else find (older :: rest)
-  in
-  find !(chain t key)
+  let c = chain t key in
+  let i = index_of c v.vid in
+  if i > 0 then Some c.vs.(i - 1) else None
 
 (* The version created immediately after [v] on [key], if any. *)
 let next_version t key v =
-  let rec find = function
-    | [] | [ _ ] -> None
-    | newer :: older :: rest ->
-      if older.vid = v.vid then Some newer else find (older :: rest)
-  in
-  find !(chain t key)
+  let c = chain t key in
+  let i = index_of c v.vid in
+  if i >= 0 && i < c.n - 1 then Some c.vs.(i + 1) else None
 
 (* --- Timestamp-ordered access (MVTO / TAPIR baselines) ------------ *)
+
+(* Largest index with [tw <= ts] in the live prefix, or -1: chains are
+   tw-sorted, so this is a binary search (the upper bound lands on the
+   newest among equal timestamps). *)
+let find_at c ~ts =
+  let lo = ref 0 and hi = ref (c.n - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Ts.(c.vs.(mid).tw <= ts) then begin
+      found := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !found
 
 (* Latest version (committed or undecided) with tw <= ts. Timestamps
    below the initial version (possible with negatively skewed clocks)
    resolve to the chain terminator. *)
 let version_at t key ~ts =
-  let rec find = function
-    | [] -> None
-    | [ oldest ] -> Some oldest
-    | v :: rest -> if Ts.(v.tw <= ts) then Some v else find rest
-  in
-  find !(chain t key)
+  let c = chain t key in
+  let i = find_at c ~ts in
+  Some (if i >= 0 then c.vs.(i) else c.vs.(0))
 
 (* Insert a version in tw order (MVTO writes can land mid-chain). *)
 let insert_ordered t key value ~tw ~writer =
@@ -161,12 +212,7 @@ let insert_ordered t key value ~tw ~writer =
   let v =
     { vid = fresh_vid (); value; tw; tr = tw; status = Undecided; writer; parked = [] }
   in
-  let rec ins = function
-    | [] -> [ v ]
-    | newer :: rest when Ts.(newer.tw > tw) -> newer :: ins rest
-    | rest -> v :: rest
-  in
-  c := ins !c;
+  insert_at c (find_at c ~ts:tw + 1) v;
   t.created <- t.created + 1;
   v
 
@@ -179,25 +225,38 @@ let versions_created t = t.created
 
 (* Committed version ids of a key, oldest first (for the checker). *)
 let committed_order t key =
-  List.rev_map (fun v -> v.vid)
-    (List.filter (fun v -> v.status = Committed) !(chain t key))
+  let c = chain t key in
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      collect (i - 1)
+        (if c.vs.(i).status = Committed then c.vs.(i).vid :: acc else acc)
+  in
+  collect (c.n - 1) []
 
 let all_committed_orders t =
-  Detmap.fold_sorted (fun key _ acc -> (key, committed_order t key) :: acc) t.tbl []
+  Detmap.fold_sorted_cached t.kc
+    (fun key _ acc -> (key, committed_order t key) :: acc)
+    t.tbl []
 
 (* Drop committed versions beyond the [keep] newest entries of each
-   chain; undecided versions are never dropped. *)
+   chain; undecided versions and the chain terminator are never
+   dropped. *)
 let gc ?(keep = 8) t =
-  Detmap.iter_sorted
+  Detmap.iter_sorted_cached t.kc
     (fun _ c ->
-      let rec trim i = function
-        | [] -> []
-        | v :: rest ->
-          if i < keep || v.status = Undecided then v :: trim (i + 1) rest
-          else if rest = [] then [ v ] (* keep the chain terminator *)
-          else trim (i + 1) rest
-      in
-      c := trim 0 !c)
+      let w = ref 0 in
+      for i = 0 to c.n - 1 do
+        let v = c.vs.(i) in
+        if i = 0 || v.status = Undecided || c.n - 1 - i < keep then begin
+          c.vs.(!w) <- v;
+          incr w
+        end
+      done;
+      for i = !w to c.n - 1 do
+        c.vs.(i) <- c.vs.(0)
+      done;
+      c.n <- !w)
     t.tbl
 
-let chain_length t key = List.length !(chain t key)
+let chain_length t key = (chain t key).n

@@ -18,7 +18,8 @@ type version = {
 
 type t
 
-(** Reset the global version-id counter (between independent runs). *)
+(** Reset the domain-local version-id counter (between independent
+    runs; each run executes entirely on one domain). *)
 val reset_vids : unit -> unit
 
 val create : unit -> t

@@ -25,6 +25,11 @@ type t = {
   counters : (string * int, counter) Hashtbl.t;
   gauges : (string * int, gauge) Hashtbl.t;
   hists : (string * int, Stats.Hist.t) Hashtbl.t;
+  (* sorted-key caches for the snapshot reads: the name universe
+     stabilises after the first samples, so per-sample traversals
+     revalidate in O(n) instead of re-sorting *)
+  counters_kc : (string * int) Kernel.Detmap.cache;
+  gauges_kc : (string * int) Kernel.Detmap.cache;
 }
 
 let create () =
@@ -32,6 +37,8 @@ let create () =
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 8;
+    counters_kc = Kernel.Detmap.cache ();
+    gauges_kc = Kernel.Detmap.cache ();
   }
 
 let run_scope = -1
@@ -77,10 +84,16 @@ let observe t ?node name v = Stats.Hist.add (hist t ?node name) v
 (* --- read side ------------------------------------------------------- *)
 
 let counters t =
-  List.map (fun (k, c) -> (k, c.c_v)) (Kernel.Detmap.sorted_bindings t.counters)
+  Kernel.Detmap.fold_sorted_cached t.counters_kc
+    (fun k c acc -> (k, c.c_v) :: acc)
+    t.counters []
+  |> List.rev
 
 let gauges t =
-  List.map (fun (k, g) -> (k, g.g_v)) (Kernel.Detmap.sorted_bindings t.gauges)
+  Kernel.Detmap.fold_sorted_cached t.gauges_kc
+    (fun k g acc -> (k, g.g_v) :: acc)
+    t.gauges []
+  |> List.rev
 
 let hists t = Kernel.Detmap.sorted_bindings t.hists
 

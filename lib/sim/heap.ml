@@ -19,18 +19,20 @@ let is_empty t = t.size = 0
 (* ncc-lint: allow R8 — exact float tie falls through to the seq tie-breaker; a tolerance would reorder distinct deadlines *)
 let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow t =
+(* [fill] seeds the slots of a fresh backing array, so growing from
+   capacity 0 needs no pre-existing element and push order stays
+   irrelevant to the representation. *)
+let grow t fill =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap t.data.(0) in
+  let fresh = Array.make new_cap fill in
   Array.blit t.data 0 fresh 0 t.size;
   t.data <- fresh
 
 let push t prio payload =
   let e = { prio; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
-  if t.size = Array.length t.data then grow t;
+  if t.size = Array.length t.data then grow t e;
   t.data.(t.size) <- e;
   t.size <- t.size + 1;
   (* sift up *)

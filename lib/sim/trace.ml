@@ -5,8 +5,11 @@
    --trace flag).
 
    Call sites guard with [active ()] so a disabled tracer costs one
-   branch. The tracer is deliberately global: a simulation is
-   single-threaded and spans many modules. *)
+   branch. The tracer is deliberately ambient: a simulation is
+   single-threaded and spans many modules. Its state lives in
+   domain-local storage so that parallel sweeps (Harness.Pool) give
+   each domain an independent tracer — a chaos job's rolling digest
+   only ever sees events from its own domain's runs. *)
 
 type event = { ev_time : float; ev_cat : string; ev_msg : string }
 
@@ -22,34 +25,41 @@ type state = {
   mutable digest : string;
 }
 
-let st =
-  { buf = [||]; next = 0; count = 0; on = false; digest_on = false;
-    digest = Digest.string "" }
+let key =
+  Domain.DLS.new_key (fun () ->
+      { buf = [||]; next = 0; count = 0; on = false; digest_on = false;
+        digest = Digest.string "" })
+
+let st () = Domain.DLS.get key
 
 let enable ?(capacity = 4096) () =
+  let st = st () in
   st.buf <- Array.make capacity { ev_time = 0.0; ev_cat = ""; ev_msg = "" };
   st.next <- 0;
   st.count <- 0;
   st.on <- true
 
-let disable () = st.on <- false
+let disable () = (st ()).on <- false
 
 (* Turning accumulation on must NOT clear the rolling digest: the
-   tracer is a global singleton, so an [enable_digest] from one layer
+   tracer is a per-domain singleton, so an [enable_digest] from one layer
    mid-run (say, a nested chaos probe) would silently wipe the history
    another layer is still accumulating. Resetting is a separate,
    explicit act. *)
-let enable_digest () = st.digest_on <- true
+let enable_digest () = (st ()).digest_on <- true
 
-let disable_digest () = st.digest_on <- false
+let disable_digest () = (st ()).digest_on <- false
 
-let reset_digest () = st.digest <- Digest.string ""
+let reset_digest () = (st ()).digest <- Digest.string ""
 
-let digest () = Digest.to_hex st.digest
+let digest () = Digest.to_hex (st ()).digest
 
-let active () = st.on || st.digest_on
+let active () =
+  let st = st () in
+  st.on || st.digest_on
 
 let emit ~time ~cat msg =
+  let st = st () in
   if st.digest_on then
     st.digest <-
       Digest.string
@@ -60,10 +70,11 @@ let emit ~time ~cat msg =
     st.count <- st.count + 1
   end
 
-let emitted () = st.count
+let emitted () = (st ()).count
 
 (* The retained events, oldest first. *)
 let events () =
+  let st = st () in
   let cap = Array.length st.buf in
   let n = min st.count cap in
   List.init n (fun i -> st.buf.((st.next - n + i + cap) mod cap))

@@ -21,13 +21,15 @@ type params = {
 
 (* Unique write payloads so every version is distinguishable. Shared
    by all workload generators (tpcc, facebook_tao, examples); the tag
-   is opaque to protocols and never feeds control flow or digests. *)
-(* ncc-lint: allow R5 — opaque payload tag, never observed by protocols *)
-let value_counter = ref 0
+   is opaque to protocols and never feeds control flow, results or
+   digests, so it needs no per-run reset — but it is domain-local so
+   parallel sweep jobs (Harness.Pool) cannot race on it. *)
+let value_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_value () =
-  incr value_counter;
-  !value_counter
+  let c = Domain.DLS.get value_counter in
+  incr c;
+  !c
 
 (* Distinct Zipf-popular keys for one transaction. *)
 let distinct_keys rng zipf n =

@@ -23,5 +23,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
       ("typed-lint", Test_typed_lint.suite);
+      ("pool", Test_pool.suite);
       ("e2e", Test_e2e.suite);
     ]

@@ -1,0 +1,131 @@
+(* The work-stealing domain pool (lib/harness/pool): sequential
+   equivalence, submission-order merge under oversubscription and
+   adversarial job durations, exception isolation, and the headline
+   guarantee — whole simulation results are field-for-field identical
+   whether a sweep runs on one domain or many. *)
+
+module Pool = Harness.Pool
+
+let seq_equivalence () =
+  let xs = List.init 50 Fun.id in
+  let f x = x * 7919 mod 101 in
+  Alcotest.(check (list int))
+    "jobs=1 is plain List.map" (List.map f xs)
+    (Pool.map ~jobs:1 f xs);
+  Alcotest.(check (list int))
+    "jobs=4 merges to the same list" (List.map f xs)
+    (Pool.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "empty batch" [] (Pool.map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton batch" [ f 3 ] (Pool.map ~jobs:4 f [ 3 ])
+
+let oversubscription () =
+  (* far more workers than cores (and than tasks): every task runs
+     exactly once and lands in its own submission-order slot *)
+  let n = 20 in
+  let ran = Array.make n 0 in
+  let tasks =
+    List.init n (fun i () ->
+        ran.(i) <- ran.(i) + 1;
+        i * i)
+  in
+  let rs = Pool.submit ~jobs:64 tasks in
+  Alcotest.(check int) "one result per task" n (List.length rs);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "slot i holds job i's result" (i * i) v
+      | Error e -> raise e)
+    rs;
+  Alcotest.(check bool) "each task ran exactly once" true
+    (Array.for_all (fun c -> c = 1) ran)
+
+exception Boom of int
+
+let exception_isolation () =
+  (* a raising job records Error in its own slot; siblings are
+     undisturbed *)
+  let tasks = List.init 9 (fun i () -> if i mod 3 = 1 then raise (Boom i) else i) in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+        Alcotest.(check int) "surviving slot" i v;
+        Alcotest.(check bool) "only non-raising slots survive" true (i mod 3 <> 1)
+      | Error (Boom j) -> Alcotest.(check int) "failure stays in its slot" i j
+      | Error e -> raise e)
+    (Pool.submit ~jobs:3 tasks);
+  (* map re-raises the first failure in submission order, not
+     completion order *)
+  match Pool.map ~jobs:2 (fun i -> raise (Boom i)) [ 5; 2; 9 ] with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> Alcotest.(check int) "submission-order first" 5 i
+
+let adversarial_merge () =
+  (* early-submitted jobs are the slowest, so under parallelism the
+     completion order inverts the submission order; the merged list
+     must still be submission-ordered *)
+  let n = 12 in
+  let spin i =
+    let acc = ref 0 in
+    for k = 1 to (n - i) * 100_000 do
+      acc := (!acc + k) mod 1_000_003
+    done;
+    ignore !acc;
+    i
+  in
+  Alcotest.(check (list int))
+    "merge is submission order, not completion order"
+    (List.init n Fun.id)
+    (Pool.map ~jobs:4 spin (List.init n Fun.id))
+
+(* --- parallel vs sequential bit-identity on real simulations --------- *)
+
+let result_fields r = Obs.Jsonw.to_string (Harness.Report.result_json r)
+
+let series_equal =
+  List.equal (fun (t1, v1) (t2, v2) -> Float.equal t1 t2 && Float.equal v1 v2)
+
+let parallel_bit_identity () =
+  (* two protocols x two loads, workload built inside each job: the
+     same sweep on one domain and on three must produce
+     field-for-field identical results *)
+  let protocols = [ ("NCC", Ncc.protocol); ("dOCC", Baselines.docc) ] in
+  let cells =
+    List.concat_map (fun (n, p) -> [ (n, p, 400.0); (n, p, 900.0) ]) protocols
+  in
+  let run (name, p, load) =
+    let cfg =
+      {
+        Harness.Runner.default with
+        Harness.Runner.n_servers = 2;
+        n_clients = 4;
+        offered_load = load;
+        duration = 0.3;
+        warmup = 0.05;
+        seed = 11;
+      }
+    in
+    Harness.Runner.run ~label:name p (Workload.Google_f1.make ()) cfg
+  in
+  let seq = Pool.map ~jobs:1 run cells in
+  let par = Pool.map ~jobs:3 run cells in
+  List.iter2
+    (fun (a : Harness.Runner.result) (b : Harness.Runner.result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s@%.0f: all summary fields" a.Harness.Runner.protocol
+           a.Harness.Runner.offered)
+        (result_fields a) (result_fields b);
+      Alcotest.(check bool) "commit-rate time series" true
+        (series_equal a.Harness.Runner.series b.Harness.Runner.series))
+    seq par
+
+let suite =
+  [
+    Alcotest.test_case "jobs=1 equals direct sequential" `Quick seq_equivalence;
+    Alcotest.test_case "oversubscription" `Quick oversubscription;
+    Alcotest.test_case "exception isolation" `Quick exception_isolation;
+    Alcotest.test_case "adversarial durations merge in order" `Quick
+      adversarial_merge;
+    Alcotest.test_case "parallel = sequential (NCC, dOCC)" `Slow
+      parallel_bit_identity;
+  ]

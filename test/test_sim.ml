@@ -18,6 +18,31 @@ let heap_pops_sorted =
       | popped -> List.length popped = List.length entries
       | exception Exit -> false)
 
+(* Strictly stronger than the two tests above: the pop sequence is
+   exactly the stable sort of the push sequence by priority, i.e. ties
+   break by push order everywhere, not just in one hand-built case.
+   Integer priorities on a small range force plenty of ties. *)
+let heap_stable_sort =
+  QCheck.Test.make ~name:"heap pop order = stable sort by (prio, push seq)"
+    ~count:300
+    QCheck.(list (pair (0 -- 10) small_nat))
+    (fun entries ->
+      let h = Sim.Heap.create () in
+      List.iter (fun (p, v) -> Sim.Heap.push h (float_of_int p) v) entries;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, v) -> drain ((p, v) :: acc)
+      in
+      let expected =
+        List.map
+          (fun (p, v) -> (float_of_int p, v))
+          (List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) entries)
+      in
+      List.equal
+        (fun (a, x) (b, y) -> Float.equal a b && Int.equal x y)
+        expected (drain []))
+
 let heap_fifo_on_ties () =
   let h = Sim.Heap.create () in
   List.iter (fun v -> Sim.Heap.push h 1.0 v) [ 1; 2; 3; 4; 5 ];
@@ -134,7 +159,8 @@ let suite =
     Alcotest.test_case "zipf skew" `Quick zipf_skew;
     Alcotest.test_case "clock skew and drift" `Quick clock_skew_and_drift;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ heap_pops_sorted; exponential_mean; zipf_bounds ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ heap_pops_sorted; heap_stable_sort; exponential_mean; zipf_bounds ]
 
 let trace_ring () =
   Sim.Trace.enable ~capacity:4 ();

@@ -220,6 +220,67 @@ let r10_liveness () =
       ^ " allow R10 - reserved wire constructors *)\n\
         \  type msg = Ping | Pong\nend\n"))
 
+(* --- R11: parallel-sweep isolation --------------------------------- *)
+
+(* A local [Pool] stub exercises the same suffix-matched registry path
+   ("Pool.map") as the real Harness.Pool. *)
+let r11_fixture =
+  "module Pool = struct\n\
+  \  let map ~jobs:_ f xs = List.map f xs\n\
+   end\n\n\
+   let tally = Hashtbl.create 16\n\n\
+   let record x = Hashtbl.replace tally x x\n\n\
+   let sweep xs = Pool.map ~jobs:4 (fun x -> record x) xs\n"
+
+let r11_fires () =
+  match typed ~only:[ "R11" ] ~file:"fixture.ml" r11_fixture with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "R11" f.Lint.Engine.rule;
+    Alcotest.(check int) "at the submitting binding" 9 f.Lint.Engine.line;
+    Alcotest.(check bool) "names the submitting binding and the state" true
+      (contains f.Lint.Engine.message "Fixture.sweep"
+      && contains f.Lint.Engine.message
+           "Hashtbl.replace on global Fixture.tally");
+    Alcotest.(check (list string))
+      "chain runs from the submitter through the mutator to the effect"
+      [ "Fixture.sweep"; "Fixture.record";
+        "Hashtbl.replace on global Fixture.tally (fixture.ml:7)" ]
+      f.Lint.Engine.chain
+  | fs -> Alcotest.failf "expected exactly one R11 finding, got %d" (List.length fs)
+
+let r11_clean () =
+  (* self-contained jobs: all state is built inside the closure *)
+  check_sites "pure pooled sweep is quiet" [] ~only:[ "R11" ]
+    "module Pool = struct\n\
+    \  let map ~jobs:_ f xs = List.map f xs\n\
+     end\n\n\
+     let job x =\n\
+    \  let acc = Hashtbl.create 16 in\n\
+    \  Hashtbl.replace acc x x;\n\
+    \  Hashtbl.length acc\n\n\
+     let sweep xs = Pool.map ~jobs:4 (fun x -> job x) xs\n";
+  (* mutating a global is fine as long as no binding on the path hands
+     work to the pool *)
+  check_sites "sequential mutation is not R11's business" [] ~only:[ "R11" ]
+    "let tally = Hashtbl.create 16\n\n\
+     let record x = Hashtbl.replace tally x x\n\n\
+     let sweep xs = List.map (fun x -> record x) xs\n"
+
+let r11_waived () =
+  Alcotest.(check (list (triple string int string)))
+    "waived pooled mutation" []
+    (full_sites
+       ("module Pool = struct\n\
+        \  let map ~jobs:_ f xs = List.map f xs\n\
+         end\n\n"
+      ^ kw
+      ^ " allow R5 - fixture: audited accumulator *)\n\
+         let tally = Hashtbl.create 16\n\n\
+         let record x = Hashtbl.replace tally x x\n\n"
+      ^ kw
+      ^ " allow R11 - fixture: merge is order-insensitive by review *)\n\
+         let sweep xs = Pool.map ~jobs:4 (fun x -> record x) xs\n"))
+
 let rule_filter () =
   let src =
     "let f (a : float) (b : float) = a = b\n\
@@ -257,6 +318,9 @@ let suite =
       r9_mutation_and_waiver;
     Alcotest.test_case "R9 clean" `Quick r9_clean;
     Alcotest.test_case "R10 constructor liveness" `Quick r10_liveness;
+    Alcotest.test_case "R11 fires on pooled reachable mutation" `Quick r11_fires;
+    Alcotest.test_case "R11 clean" `Quick r11_clean;
+    Alcotest.test_case "R11 waived" `Quick r11_waived;
     Alcotest.test_case "rule filter" `Quick rule_filter;
     Alcotest.test_case "reporters carry the chain" `Quick reporters;
   ]
