@@ -14,10 +14,19 @@ let quick = ref false
 (* ncc-lint: allow R5 — CLI flag, written once before any experiment runs *)
 let jobs = ref 1
 
+(* ncc-lint: allow R5 — CLI flag, written once before any experiment runs *)
+let check_override : Harness.Runner.check_level option ref = ref None
+
 (* --jobs 0 means one worker per available core. *)
 let njobs () = if !jobs = 0 then Harness.Pool.cpu_count () else max 1 !jobs
 
-let scale () = if !quick then Experiments.quick_scale else Experiments.full_scale
+(* Quick runs stream-check every history by default (the scale's
+   [check] field); --check on|post|off overrides either tier. *)
+let scale () =
+  let s = if !quick then Experiments.quick_scale else Experiments.full_scale in
+  match !check_override with
+  | None -> s
+  | Some c -> { s with Experiments.check = c }
 
 (* Scale-adjusted sweeps: the quick cluster (4 servers) saturates at
    roughly half the load of the full one (8 servers). *)
@@ -264,8 +273,39 @@ let micro () =
            done;
            Checker.Rsg.record_version_order t 1 (List.init 1001 (fun i -> 100 + i));
            match Checker.Rsg.check t ~strict:true with
-           | Checker.Rsg.Ok -> ()
-           | Checker.Rsg.Violation v -> failwith v))
+           | Checker.Verdict.Ok -> ()
+           | Checker.Verdict.Violation a ->
+             failwith (Checker.Verdict.anomaly_to_string a)))
+  in
+  (* Per-commit cost of the streaming checker on the same serial
+     history: version announcement + record + amortized epoch checks
+     and retirement with the default-ish window. Divide by 1000 for
+     the per-commit figure the docs quote. *)
+  let checker_stream =
+    Test.make ~name:"checker.stream 1k-commit feed"
+      (Staged.stage (fun () ->
+           let step = ref 0 in
+           let t =
+             Checker.Stream.create ~epoch:256
+               ~watermark:(fun () -> float_of_int (2 * (!step + 1)))
+               ()
+           in
+           Checker.Stream.observe_version t ~key:1 ~vid:100 ~writer:0 ~prev:None
+             ~next:None;
+           for i = 1 to 1000 do
+             step := i;
+             Checker.Stream.observe_version t ~key:1 ~vid:(100 + i) ~writer:i
+               ~prev:(Some (99 + i)) ~next:None;
+             Checker.Stream.observe_commit t ~txn:i
+               ~start:(float_of_int (2 * i))
+               ~finish:(float_of_int ((2 * i) + 1))
+               ~reads:[ (1, 99 + i) ]
+               ~writes:[ (1, 100 + i) ]
+           done;
+           match Checker.Stream.finalize t with
+           | Checker.Verdict.Ok -> ()
+           | Checker.Verdict.Violation a ->
+             failwith (Checker.Verdict.anomaly_to_string a)))
   in
   let tests =
     [
@@ -280,6 +320,7 @@ let micro () =
       heap;
       zipf;
       checker;
+      checker_stream;
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -336,6 +377,16 @@ let () =
       parse rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
       jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
+      parse rest
+    | "--check" :: lvl :: rest ->
+      (check_override :=
+         match lvl with
+         | "on" -> Some Harness.Runner.Streaming
+         | "post" -> Some Harness.Runner.Strict
+         | "off" -> Some Harness.Runner.No_check
+         | _ ->
+           Printf.eprintf "unknown --check level %S (want on, post or off)\n" lvl;
+           exit 2);
       parse rest
     | arg :: rest -> arg :: parse rest
   in

@@ -142,12 +142,21 @@ let run_cmd =
       & opt
           (enum
              [
+               (* on = streaming (windowed, bounded memory); post =
+                  post-hoc strict; off = none. Legacy spellings kept. *)
+               ("on", Harness.Runner.Streaming);
+               ("post", Harness.Runner.Strict);
+               ("off", Harness.Runner.No_check);
                ("none", Harness.Runner.No_check);
                ("ser", Harness.Runner.Serializable);
                ("strict", Harness.Runner.Strict);
              ])
           Harness.Runner.No_check
-      & info [ "check" ] ~doc:"History check: none, ser or strict.")
+      & info [ "check" ]
+          ~doc:
+            "History check: $(b,on) (streaming, bounded memory), $(b,post) \
+             (post-hoc strict) or $(b,off). $(b,none)/$(b,ser)/$(b,strict) \
+             are accepted as legacy spellings.")
   in
   let faults_seed =
     Arg.(
@@ -175,8 +184,22 @@ let run_cmd =
             "Per-attempt client timeout; the attempt is cancelled and retried \
              when it fires. Required for liveness under message loss.")
   in
+  let check_window =
+    Arg.(
+      value & opt int 1024
+      & info [ "check-window" ] ~docv:"N"
+          ~doc:"Streaming check: commits per checker epoch (the GC window).")
+  in
+  let check_ceiling =
+    Arg.(
+      value & opt (some int) None
+      & info [ "check-ceiling" ] ~docv:"N"
+          ~doc:
+            "Streaming check: fail (exit 1) if the checker's live-set \
+             high-water mark exceeds N. CI's memory-bound smoke uses this.")
+  in
   let f (pname, p) wname load n_servers n_clients duration seed replicas trace check
-      faults_seed drop dup request_timeout =
+      check_window check_ceiling faults_seed drop dup request_timeout =
     if trace > 0 then Sim.Trace.enable ~capacity:(max 4096 trace) ();
     match List.assoc_opt wname (workloads ~n_servers) with
     | None ->
@@ -214,12 +237,14 @@ let run_cmd =
           offered_load = load;
           duration;
           check;
+          check_window;
           replicas_per_server = replicas;
           faults;
           request_timeout;
         }
       in
-      let r = Harness.Runner.run ~label:pname p w cfg in
+      let mx = Obs.Metrics.create () in
+      let r = Harness.Runner.run ~label:pname ~metrics:mx p w cfg in
       Printf.printf
         "protocol=%s workload=%s offered=%.0f/s\n\
          committed=%d (%.0f/s)  gave_up=%d  dropped=%d\n\
@@ -247,6 +272,30 @@ let run_cmd =
              r.Harness.Runner.counters);
         print_newline ()
       end;
+      (match check with
+       | Harness.Runner.Streaming ->
+         let gauge name =
+           match
+             List.assoc_opt (name, Obs.Metrics.run_scope) (Obs.Metrics.gauges mx)
+           with
+           | Some v -> int_of_float v
+           | None -> 0
+         in
+         let live_hw = gauge "checker.live_high_water" in
+         Printf.printf
+           "checker: live high-water %d, retired %d, epochs %d, stale residue \
+            %d (window %d)\n"
+           live_hw
+           (gauge "checker.retired")
+           (gauge "checker.epochs")
+           (gauge "checker.stale_residue")
+           check_window;
+         (match check_ceiling with
+          | Some c when live_hw > c ->
+            Printf.eprintf "checker live set exceeded ceiling: %d > %d\n" live_hw c;
+            exit 1
+          | _ -> ())
+       | _ -> ());
       if trace > 0 then begin
         Printf.printf "--- last %d traced events (of %d) ---\n" trace
           (Sim.Trace.emitted ());
@@ -256,7 +305,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const f $ protocol $ workload $ load $ servers $ clients $ duration $ seed
-      $ replicas $ trace $ check $ faults_seed $ drop $ dup $ request_timeout)
+      $ replicas $ trace $ check $ check_window $ check_ceiling $ faults_seed
+      $ drop $ dup $ request_timeout)
 
 (* --- chaos -------------------------------------------------------------- *)
 
@@ -298,9 +348,29 @@ let chaos_cmd =
       value & flag
       & info [ "no-crashes" ] ~doc:"Restrict schedules to network faults only.")
   in
-  let f (pname, p) wname seeds replay replicas no_crashes jobs =
+  let chaos_check =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("on", Harness.Runner.Streaming);
+               ("post", Harness.Runner.Strict);
+               ("off", Harness.Runner.No_check);
+             ])
+          Harness.Runner.Streaming
+      & info [ "check" ]
+          ~doc:
+            "History check per seed: $(b,on) (streaming, the default), \
+             $(b,post) (post-hoc strict) or $(b,off).")
+  in
+  let f (pname, p) wname seeds replay replicas no_crashes check jobs =
     let base =
-      { Harness.Chaos.base_default with Harness.Runner.replicas_per_server = replicas }
+      {
+        Harness.Chaos.base_default with
+        Harness.Runner.replicas_per_server = replicas;
+        check;
+      }
     in
     let allow_crashes = (not no_crashes) && replicas = 0 in
     match List.assoc_opt wname (workloads ~n_servers:base.Harness.Runner.n_servers) with
@@ -339,7 +409,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes
-      $ jobs_arg)
+      $ chaos_check $ jobs_arg)
 
 (* --- trace / profile ---------------------------------------------------- *)
 

@@ -142,7 +142,7 @@ let decide s ~wire ~commit =
      | Some st ->
        List.iter
          (fun (key, v) ->
-           if commit then Store.commit_version v else Store.abort_version s.store key v)
+           if commit then Store.commit_in s.store key v else Store.abort_version s.store key v)
          st.h_versions);
     release_all s ~wire
   end
@@ -411,6 +411,7 @@ let make variant name : Harness.Protocol.t =
     let make_server = make_server variant
     let server_handle = server_handle
     let server_version_orders s = Store.all_committed_orders s.store
+    let server_stores s = [ s.store ]
 
     let server_counters s =
       [

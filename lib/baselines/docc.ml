@@ -160,7 +160,7 @@ let decide s ~wire ~commit =
     Hashtbl.remove s.prepared wire;
     List.iter
       (fun (key, v) ->
-        if commit then Store.commit_version v else Store.abort_version s.store key v)
+        if commit then Store.commit_in s.store key v else Store.abort_version s.store key v)
       p.pr_versions;
     List.iter (fun key -> Locks.release s.locks key ~txn:wire) p.pr_keys
 
@@ -377,6 +377,7 @@ let protocol : Harness.Protocol.t =
     let make_server = make_server
     let server_handle = server_handle
     let server_version_orders s = Store.all_committed_orders s.store
+    let server_stores s = [ s.store ]
     let server_counters s = [ ("validation_fails", float_of_int s.n_validation_fails) ]
 
     type nonrec client = client

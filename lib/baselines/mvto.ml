@@ -158,7 +158,7 @@ let decide s ~wire ~commit =
       Hashtbl.remove s.installed wire;
       List.iter
         (fun (key, v) ->
-          if commit then Store.commit_version v else Store.abort_version s.store key v)
+          if commit then Store.commit_in s.store key v else Store.abort_version s.store key v)
         versions
   end
 
@@ -306,6 +306,7 @@ let protocol : Harness.Protocol.t =
     let make_server = make_server
     let server_handle = server_handle
     let server_version_orders s = Store.all_committed_orders s.store
+    let server_stores s = [ s.store ]
 
     let server_counters s =
       [

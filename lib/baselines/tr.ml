@@ -230,7 +230,7 @@ let rec try_execute s st =
               Common.result_of_read (Store.most_recent_committed s.store key) key
             | Types.Write (key, value) ->
               let v = Store.write s.store key value ~ts:Ts.zero ~writer:st.t_wire in
-              Store.commit_version v;
+              Store.commit_in s.store key v;
               Common.result_of_write v key)
           st.t_ops
       in
@@ -442,6 +442,7 @@ let protocol : Harness.Protocol.t =
     let make_server = make_server
     let server_handle = server_handle
     let server_version_orders s = Store.all_committed_orders s.store
+    let server_stores s = [ s.store ]
 
     let server_counters s =
       [

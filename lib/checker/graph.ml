@@ -1,0 +1,123 @@
+(* Shared serialization-graph machinery: adjacency building, the
+   dense freeze, and the iterative colored cycle search. Both the
+   post-hoc {!Rsg} checker and the streaming {!Stream} checker build
+   their graphs through this module, so a cycle witness means the same
+   thing in both.
+
+   Node encoding convention (shared with the checkers): transactions
+   are their (positive) ids, the initial writer is 0, auxiliary
+   commit-event chain nodes are negative. *)
+
+type t = {
+  adj : (int, int list ref) Hashtbl.t;
+  mutable nodes : int list;
+}
+
+let create () = { adj = Hashtbl.create 4096; nodes = [] }
+
+let node g n =
+  match Hashtbl.find_opt g.adj n with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add g.adj n l;
+    g.nodes <- n :: g.nodes;
+    l
+
+let add_node g n = ignore (node g n)
+
+let edge g a b =
+  if a <> b then begin
+    let l = node g a in
+    ignore (node g b);
+    l := b :: !l
+  end
+
+(* The adjacency Hashtbl is convenient to build but slow to search:
+   every color lookup during the DFS hashes a key. Before the cycle
+   search the graph is frozen into dense arrays — node ids renumbered
+   to [0, n), successor lists turned into int arrays (same order, so
+   the reported cycle is unchanged) — and the DFS colors become one
+   byte per node. Black nodes persist across roots, memoizing "no
+   cycle reachable from here" for the whole query. *)
+type dense = {
+  d_ids : int array;  (* dense index -> original node id *)
+  d_adj : int array array;
+}
+
+let freeze g =
+  let ids = Array.of_list g.nodes in
+  let n = Array.length ids in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.replace idx id i) ids;
+  let adj =
+    Array.map
+      (fun id ->
+        let succs = Array.of_list !(Hashtbl.find g.adj id) in
+        Array.map (fun s -> Hashtbl.find idx s) succs)
+      ids
+  in
+  { d_ids = ids; d_adj = adj }
+
+(* Iterative colored DFS over the frozen graph; returns the first
+   cycle (in original node ids) or None. *)
+let find_cycle g =
+  let d = freeze g in
+  let n = Array.length d.d_ids in
+  let color = Bytes.make n '\000' in (* '\001' on stack, '\002' done *)
+  (* explicit stack: node and next-successor position, as flat arrays
+     (the gray chain never exceeds n nodes) *)
+  let stack_n = Array.make (max n 1) 0 and stack_p = Array.make (max n 1) 0 in
+  let cycle = ref None in
+  let found = ref false in
+  let root = ref 0 in
+  while (not !found) && !root < n do
+    if Bytes.get color !root = '\000' then begin
+      let sp = ref 0 in
+      let push v =
+        stack_n.(!sp) <- v;
+        stack_p.(!sp) <- 0;
+        incr sp;
+        Bytes.set color v '\001'
+      in
+      push !root;
+      while (not !found) && !sp > 0 do
+        let top = !sp - 1 in
+        let v = stack_n.(top) in
+        let succs = d.d_adj.(v) in
+        let p = stack_p.(top) in
+        if p >= Array.length succs then begin
+          Bytes.set color v '\002';
+          decr sp
+        end
+        else begin
+          stack_p.(top) <- p + 1;
+          let s = succs.(p) in
+          match Bytes.get color s with
+          | '\000' -> push s
+          | '\001' ->
+            (* gray: cycle = the gray suffix of the path up to s *)
+            let j = ref top in
+            while stack_n.(!j) <> s do
+              decr j
+            done;
+            let c = ref [] in
+            for k = top downto !j do
+              c := d.d_ids.(stack_n.(k)) :: !c
+            done;
+            found := true;
+            cycle := Some !c
+          | _ -> ()
+        end
+      done
+    end;
+    incr root
+  done;
+  !cycle
+
+let node_name n =
+  if n = 0 then "init"
+  else if n > 0 then Printf.sprintf "tx%d" n
+  else Printf.sprintf "rt%d" (-n)
+
+let describe_cycle cycle = String.concat " -> " (List.map node_name cycle)

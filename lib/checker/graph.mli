@@ -1,0 +1,22 @@
+(** Shared serialization-graph machinery for the checkers: adjacency
+    building, dense freezing, and the iterative colored cycle search.
+
+    Node encoding: transactions are their (positive) ids, the initial
+    writer is 0, auxiliary commit-event chain nodes are negative. *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> int -> unit
+
+(** Add a directed edge; self-loops are ignored. *)
+val edge : t -> int -> int -> unit
+
+(** First cycle found (in original node ids), or [None] if acyclic. *)
+val find_cycle : t -> int list option
+
+(** ["init"], ["tx<n>"] or ["rt<n>"] per the node encoding. *)
+val node_name : int -> string
+
+(** Cycle witness rendered as ["a -> b -> c"]. *)
+val describe_cycle : int list -> string

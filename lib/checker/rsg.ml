@@ -23,7 +23,12 @@
    to its own commit event, and each transaction is pointed to by the
    last commit event that finishes before its start. Reachability (and
    hence cycles) through the chain is exactly reachability through the
-   full set of real-time edges. *)
+   full set of real-time edges.
+
+   The graph plumbing (adjacency, dense freeze, cycle search) lives in
+   {!Graph}; the verdict/evidence types in {!Verdict}. Both are shared
+   with the streaming checker {!Stream}, whose GC-off mode replays a
+   history through exactly this code path. *)
 
 open Kernel
 
@@ -49,122 +54,12 @@ let record_version_order t key vids = Hashtbl.replace t.version_orders key vids
 
 let n_committed t = List.length t.records
 
+let records t = t.records
+
 (* --- graph construction ------------------------------------------- *)
 
-(* Node encoding: transactions are their (positive) ids; the initial
-   writer is 0; commit-event chain nodes are negative. *)
-
-type graph = {
-  adj : (int, int list ref) Hashtbl.t;
-  mutable nodes : int list;
-}
-
-let g_create () = { adj = Hashtbl.create 4096; nodes = [] }
-
-let g_node g n =
-  match Hashtbl.find_opt g.adj n with
-  | Some l -> l
-  | None ->
-    let l = ref [] in
-    Hashtbl.add g.adj n l;
-    g.nodes <- n :: g.nodes;
-    l
-
-let g_edge g a b =
-  if a <> b then begin
-    let l = g_node g a in
-    ignore (g_node g b);
-    l := b :: !l
-  end
-
-(* The adjacency Hashtbl is convenient to build but slow to search:
-   every color lookup during the DFS hashes a key. Before the cycle
-   search the graph is frozen into dense arrays — node ids renumbered
-   to [0, n), successor lists turned into int arrays (same order, so
-   the reported cycle is unchanged) — and the DFS colors become one
-   byte per node. Black nodes persist across roots, memoizing "no
-   cycle reachable from here" for the whole query. *)
-type dense = {
-  d_ids : int array;  (* dense index -> original node id *)
-  d_adj : int array array;
-}
-
-let freeze g =
-  let ids = Array.of_list g.nodes in
-  let n = Array.length ids in
-  let idx = Hashtbl.create (2 * n) in
-  Array.iteri (fun i id -> Hashtbl.replace idx id i) ids;
-  let adj =
-    Array.map
-      (fun id ->
-        let succs = Array.of_list !(Hashtbl.find g.adj id) in
-        Array.map (fun s -> Hashtbl.find idx s) succs)
-      ids
-  in
-  { d_ids = ids; d_adj = adj }
-
-(* Iterative colored DFS over the frozen graph; returns the first
-   cycle (in original node ids) or None. *)
-let find_cycle g =
-  let d = freeze g in
-  let n = Array.length d.d_ids in
-  let color = Bytes.make n '\000' in (* '\001' on stack, '\002' done *)
-  (* explicit stack: node and next-successor position, as flat arrays
-     (the gray chain never exceeds n nodes) *)
-  let stack_n = Array.make (max n 1) 0 and stack_p = Array.make (max n 1) 0 in
-  let cycle = ref None in
-  let found = ref false in
-  let root = ref 0 in
-  while (not !found) && !root < n do
-    if Bytes.get color !root = '\000' then begin
-      let sp = ref 0 in
-      let push v =
-        stack_n.(!sp) <- v;
-        stack_p.(!sp) <- 0;
-        incr sp;
-        Bytes.set color v '\001'
-      in
-      push !root;
-      while (not !found) && !sp > 0 do
-        let top = !sp - 1 in
-        let v = stack_n.(top) in
-        let succs = d.d_adj.(v) in
-        let p = stack_p.(top) in
-        if p >= Array.length succs then begin
-          Bytes.set color v '\002';
-          decr sp
-        end
-        else begin
-          stack_p.(top) <- p + 1;
-          let s = succs.(p) in
-          match Bytes.get color s with
-          | '\000' -> push s
-          | '\001' ->
-            (* gray: cycle = the gray suffix of the path up to s *)
-            let j = ref top in
-            while stack_n.(!j) <> s do
-              decr j
-            done;
-            let c = ref [] in
-            for k = top downto !j do
-              c := d.d_ids.(stack_n.(k)) :: !c
-            done;
-            found := true;
-            cycle := Some !c
-          | _ -> ()
-        end
-      done
-    end;
-    incr root
-  done;
-  !cycle
-
-(* --- checking ------------------------------------------------------ *)
-
-type verdict = Ok | Violation of string
-
 let build t ~strict =
-  let g = g_create () in
+  let g = Graph.create () in
   let writer_of_vid = Hashtbl.create 4096 in
   List.iter
     (fun r -> List.iter (fun (_, vid) -> Hashtbl.replace writer_of_vid vid r.txn) r.writes)
@@ -190,9 +85,9 @@ let build t ~strict =
       let rec walk = function
         | [] | [ _ ] -> ()
         | older :: newer :: rest ->
-          g_edge g (writer older) (writer newer);
+          Graph.edge g (writer older) (writer newer);
           List.iter
-            (fun reader -> g_edge g reader (writer newer))
+            (fun reader -> Graph.edge g reader (writer newer))
             (Option.value ~default:[] (Hashtbl.find_opt readers older));
           walk (newer :: rest)
       in
@@ -200,10 +95,10 @@ let build t ~strict =
     t.version_orders;
   (* wr edges *)
   Detmap.iter_sorted
-    (fun vid rs -> List.iter (fun reader -> g_edge g (writer vid) reader) rs)
+    (fun vid rs -> List.iter (fun reader -> Graph.edge g (writer vid) reader) rs)
     readers;
   (* make sure every committed txn is a node *)
-  List.iter (fun r -> ignore (g_node g r.txn)) t.records;
+  List.iter (fun r -> Graph.add_node g r.txn) t.records;
   if strict then begin
     (* commit-event chain: events sorted by finish time *)
     let by_finish =
@@ -213,8 +108,9 @@ let build t ~strict =
     let chain_node i = -(i + 1) in
     Array.iteri
       (fun i r ->
-        g_edge g r.txn (chain_node i);
-        if i + 1 < Array.length arr then g_edge g (chain_node i) (chain_node (i + 1)))
+        Graph.edge g r.txn (chain_node i);
+        if i + 1 < Array.length arr then
+          Graph.edge g (chain_node i) (chain_node (i + 1)))
       arr;
     (* each txn is reachable from the last event finishing before its
        start *)
@@ -231,19 +127,11 @@ let build t ~strict =
     List.iter
       (fun r ->
         match last_before r.start with
-        | Some i -> g_edge g (chain_node i) r.txn
+        | Some i -> Graph.edge g (chain_node i) r.txn
         | None -> ())
       t.records
   end;
   g
-
-let describe_cycle cycle =
-  let name n =
-    if n = 0 then "init"
-    else if n > 0 then Printf.sprintf "tx%d" n
-    else Printf.sprintf "rt%d" (-n)
-  in
-  String.concat " -> " (List.map name cycle)
 
 (* [check ~strict:false] verifies serializability (Invariant 1 only);
    [check ~strict:true] verifies strict serializability (both
@@ -267,16 +155,9 @@ let dirty_reads t =
 
 let check t ~strict =
   match dirty_reads t with
-  | (txn, key, vid) :: _ ->
-    Violation
-      (Printf.sprintf "dirty read: tx%d read aborted/unknown version %d of key %d"
-         txn vid key)
+  | (txn, key, vid) :: _ -> Verdict.Violation (Verdict.Dirty_read { txn; key; vid })
   | [] ->
   let g = build t ~strict in
-  match find_cycle g with
-  | None -> Ok
-  | Some cycle ->
-    Violation
-      (Printf.sprintf "%s cycle: %s"
-         (if strict then "strict-serializability" else "serializability")
-         (describe_cycle cycle))
+  (match Graph.find_cycle g with
+   | None -> Verdict.Ok
+   | Some witness -> Verdict.Violation (Verdict.Cycle { strict; witness }))

@@ -5,6 +5,14 @@
 
 open Kernel
 
+type txn_record = {
+  txn : int;
+  start : float;
+  finish : float;
+  reads : (Types.key * int) list;   (** (key, vid read) *)
+  writes : (Types.key * int) list;  (** (key, vid installed) *)
+}
+
 type t
 
 val create : unit -> t
@@ -21,9 +29,10 @@ val record_version_order : t -> Types.key -> int list -> unit
 
 val n_committed : t -> int
 
-type verdict = Ok | Violation of string
+(** Recorded commits, newest first (for replay into other checkers). *)
+val records : t -> txn_record list
 
 (** [check ~strict:true] checks strict serializability; with
     [~strict:false] only serializability. Also flags committed reads of
     versions that never appear in any committed order (dirty reads). *)
-val check : t -> strict:bool -> verdict
+val check : t -> strict:bool -> Verdict.t

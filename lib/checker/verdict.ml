@@ -1,0 +1,49 @@
+(* The verdict and evidence types shared by the post-hoc {!Rsg}
+   checker and the streaming {!Stream} checker. Keeping the type (and
+   its rendering) in one place is what lets the equivalence tests
+   compare the two checkers field for field. *)
+
+open Kernel
+
+type anomaly =
+  | Dirty_read of { txn : int; key : Types.key; vid : int }
+      (* a committed read of a version absent from every committed
+         version order: the writer aborted (or never existed) *)
+  | Cycle of { strict : bool; witness : int list }
+      (* a cycle in the serialization graph; [strict] says whether
+         real-time edges participated in the search. The witness uses
+         the shared node encoding (see {!Graph}). *)
+
+type t = Ok | Violation of anomaly
+
+let anomaly_to_string = function
+  | Dirty_read { txn; key; vid } ->
+    Printf.sprintf "dirty read: tx%d read aborted/unknown version %d of key %d" txn
+      vid key
+  | Cycle { strict; witness } ->
+    Printf.sprintf "%s cycle: %s"
+      (if strict then "strict-serializability" else "serializability")
+      (Graph.describe_cycle witness)
+
+let to_string = function
+  | Ok -> "ok"
+  | Violation a -> anomaly_to_string a
+
+let is_ok = function Ok -> true | Violation _ -> false
+
+(* Structural equality, used by the field-for-field equivalence
+   property (witness lists included). *)
+let equal (a : t) (b : t) = a = b
+
+(* Same verdict up to the cycle witness: the streaming checker may
+   discover a violation through a different (earlier) cycle than the
+   post-hoc search reports, but the anomaly class must agree. *)
+let same_class a b =
+  match (a, b) with
+  | Ok, Ok -> true
+  | ( Violation (Dirty_read { txn = t1; key = k1; vid = v1 }),
+      Violation (Dirty_read { txn = t2; key = k2; vid = v2 }) ) ->
+    t1 = t2 && Int.equal k1 k2 && v1 = v2
+  | Violation (Cycle { strict = s1; _ }), Violation (Cycle { strict = s2; _ }) ->
+    s1 = s2
+  | _ -> false

@@ -1,0 +1,28 @@
+(** Verdict and evidence types shared by {!Rsg} and {!Stream}. *)
+
+open Kernel
+
+type anomaly =
+  | Dirty_read of { txn : int; key : Types.key; vid : int }
+      (** a committed read of a version absent from every committed
+          version order *)
+  | Cycle of { strict : bool; witness : int list }
+      (** a serialization-graph cycle; witness nodes use the encoding
+          of {!Graph} (txn ids positive, init 0, real-time chain
+          negative) *)
+
+type t = Ok | Violation of anomaly
+
+val anomaly_to_string : anomaly -> string
+
+(** ["ok"], or the historical violation message. *)
+val to_string : t -> string
+
+val is_ok : t -> bool
+
+(** Structural equality, witness included. *)
+val equal : t -> t -> bool
+
+(** Equality up to the cycle witness (anomaly class and, for dirty
+    reads, the full evidence must agree). *)
+val same_class : t -> t -> bool

@@ -26,10 +26,33 @@ let serializable_protocols =
 (* The simulated testbed: the paper's 8 servers and a pool of open-loop
    clients, with asymmetric datacenter-like delays and skewed clocks.
    [scale] < 1.0 shrinks cluster and load for quick runs. *)
-type scale = { n_servers : int; n_clients : int; duration : float; warmup : float }
+type scale = {
+  n_servers : int;
+  n_clients : int;
+  duration : float;
+  warmup : float;
+  check : Runner.check_level;
+      (* quick tiers stream-check every run by default; the full tier
+         keeps checking off so published curves time the protocol alone *)
+}
 
-let full_scale = { n_servers = 8; n_clients = 24; duration = 2.0; warmup = 0.5 }
-let quick_scale = { n_servers = 4; n_clients = 12; duration = 1.0; warmup = 0.3 }
+let full_scale =
+  {
+    n_servers = 8;
+    n_clients = 24;
+    duration = 2.0;
+    warmup = 0.5;
+    check = Runner.No_check;
+  }
+
+let quick_scale =
+  {
+    n_servers = 4;
+    n_clients = 12;
+    duration = 1.0;
+    warmup = 0.3;
+    check = Runner.Streaming;
+  }
 
 let base_cfg ?(seed = 42) (s : scale) =
   {
@@ -40,6 +63,10 @@ let base_cfg ?(seed = 42) (s : scale) =
     duration = s.duration;
     warmup = s.warmup;
     drain = 0.5;
+    check = s.check;
+    (* stream checking runs on a background domain so the verdict is
+       free on multicore and cannot skew single-run wall-clock *)
+    check_async = (match s.check with Runner.Streaming -> true | _ -> false);
   }
 
 (* In-window abort fraction: aborted attempts over all decided attempts

@@ -7,13 +7,22 @@ module Runner = Harness.Runner
 val strict_protocols : (string * Harness.Protocol.t) list
 val serializable_protocols : (string * Harness.Protocol.t) list
 
-(** Cluster/duration preset. *)
-type scale = { n_servers : int; n_clients : int; duration : float; warmup : float }
+(** Cluster/duration preset. [check] is the default history-check
+    level for every run at this scale. *)
+type scale = {
+  n_servers : int;
+  n_clients : int;
+  duration : float;
+  warmup : float;
+  check : Runner.check_level;
+}
 
-(** The paper's 8 servers plus 24 clients. *)
+(** The paper's 8 servers plus 24 clients; no checking (published
+    curves time the protocol alone). *)
 val full_scale : scale
 
-(** 4 servers, shorter runs. *)
+(** 4 servers, shorter runs; every run stream-checked ([Streaming],
+    on a background domain). *)
 val quick_scale : scale
 
 val base_cfg : ?seed:int -> scale -> Runner.config

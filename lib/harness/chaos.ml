@@ -30,7 +30,9 @@ let base_default =
     warmup = 0.05;
     drain = 0.4;
     max_inflight = 8;
-    check = Runner.Strict;
+    (* streaming (windowed) strict check by default: same verdict as
+       the post-hoc checker, bounded memory, caught at commit time *)
+    check = Runner.Streaming;
     request_timeout = Some 0.01;
   }
 

@@ -64,3 +64,56 @@ let submit ~jobs tasks =
 let map ~jobs f xs =
   let results = submit ~jobs (List.map (fun x () -> f x) xs) in
   List.map (function Ok v -> v | Error e -> raise e) results
+
+(* --- single background worker ----------------------------------------
+
+   A one-domain FIFO consumer, for work that must stay ordered but
+   should leave the producer's critical path — the streaming checker
+   consuming a run's commit events is the canonical client. Posted
+   closures run exactly once, in post order, on the worker domain;
+   [shutdown] drains the queue and joins, which is the happens-before
+   edge that lets the producer read whatever state the closures built.
+   Because the consumer is single and the queue FIFO, the outcome is
+   identical to running every closure inline: determinism is by
+   construction, not by scheduling luck. *)
+
+type worker = {
+  q : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  stop : bool ref;
+  dom : unit Domain.t;
+}
+
+let worker () =
+  let q = Queue.create () in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let stop = ref false in
+  let rec loop () =
+    Mutex.lock m;
+    while Queue.is_empty q && not !stop do
+      Condition.wait cv m
+    done;
+    if Queue.is_empty q then Mutex.unlock m
+    else begin
+      let f = Queue.pop q in
+      Mutex.unlock m;
+      f ();
+      loop ()
+    end
+  in
+  { q; m; cv; stop; dom = Domain.spawn loop }
+
+let post w f =
+  Mutex.lock w.m;
+  Queue.push f w.q;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+let shutdown w =
+  Mutex.lock w.m;
+  w.stop := true;
+  Condition.signal w.cv;
+  Mutex.unlock w.m;
+  Domain.join w.dom

@@ -31,6 +31,11 @@ module type S = sig
   (* Per-key committed version order (oldest first), for the checker. *)
   val server_version_orders : server -> (Types.key * int list) list
 
+  (* The store(s) backing this server, so the harness can install the
+     streaming checker's commit hook (replica shadows excluded: only
+     the authoritative copy feeds the checker). *)
+  val server_stores : server -> Mvstore.Store.t list
+
   (* Protocol-specific counters, summed across servers by the harness. *)
   val server_counters : server -> (string * float) list
 

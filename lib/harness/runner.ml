@@ -13,7 +13,11 @@ type latency_spec =
       (* replica nodes live in a remote datacenter: any path touching a
          replica pays the wide-area delay *)
 
-type check_level = No_check | Serializable | Strict
+(* [Serializable] / [Strict] run the post-hoc {!Checker.Rsg} over the
+   full retained history after the run; [Streaming] feeds the windowed
+   {!Checker.Stream} as commits happen, off the critical path when
+   [check_async] is set, in bounded memory either way. *)
+type check_level = No_check | Serializable | Strict | Streaming
 
 type config = {
   seed : int;
@@ -31,6 +35,8 @@ type config = {
   max_clock_offset : float;
   max_clock_drift : float;
   check : check_level;
+  check_window : int;    (* Streaming: commits per epoch (GC window) *)
+  check_async : bool;    (* Streaming: feed a background domain *)
   series_width : float option;  (* commit-rate time series bucket width *)
   replicas_per_server : int;    (* replica nodes per server (replicated protocols) *)
   request_timeout : float option;  (* per-attempt client timeout (None = never) *)
@@ -54,6 +60,8 @@ let default =
     max_clock_offset = 2e-3;
     max_clock_drift = 2e-5;
     check = No_check;
+    check_window = 1024;
+    check_async = false;
     series_width = None;
     replicas_per_server = 0;
     request_timeout = None;
@@ -154,11 +162,66 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
   let abort_mx = Obs.Metrics.create () in
   let series = Stats.Series.create ?width:cfg.series_width () in
   let chk = Checker.Rsg.create () in
+  (* --- streaming checker (check = Streaming) ---
+     Two event streams feed it at commit time: the store hook announces
+     committed versions, the client report announces commit records. In
+     async mode both are posted to a single FIFO worker so checking
+     cost leaves the simulation's critical path; the watermark is
+     evaluated at feed time on this domain and travels with the event,
+     so the worker replays exactly the synchronous schedule (and the
+     verdict cannot depend on the mode). *)
+  let n_nodes = Cluster.Topology.n_nodes topo in
+  let inflight_tabs : (int, pending) Hashtbl.t list ref = ref [] in
+  let wm_cell = ref Float.neg_infinity in
+  let checker_node = n_nodes in
+  let stream =
+    if cfg.check <> Streaming then None
+    else begin
+      let on_epoch =
+        (* epoch spans only in sync mode: the recorder is not safe to
+           share with the worker domain *)
+        match obs with
+        | Some r when not cfg.check_async ->
+          Obs.Recorder.name_track r ~node:checker_node "checker";
+          Some
+            (fun ~live ~retired ->
+              Obs.Recorder.instant r ~node:checker_node ~name:"epoch"
+                ~cat:"checker"
+                ~ts:(Sim.Engine.now engine)
+                ~args:
+                  [
+                    ("live", string_of_int live);
+                    ("retired", string_of_int retired);
+                  ]
+                ())
+        | _ -> None
+      in
+      Some
+        (Checker.Stream.create ~epoch:cfg.check_window
+           ~watermark:(fun () -> !wm_cell)
+           ?on_epoch ())
+    end
+  in
+  let stream_worker =
+    match stream with Some _ when cfg.check_async -> Some (Pool.worker ()) | _ -> None
+  in
+  let feed_event =
+    match stream_worker with Some w -> Pool.post w | None -> fun f -> f ()
+  in
+  (* Lower bound on the start time of every commit not yet fed to the
+     checker: no in-flight attempt started earlier than its recorded
+     [p_attempt_start], and nothing submits before [now]. The min is
+     order-independent, but iterate sorted anyway (lint R8). *)
+  let watermark_now () =
+    List.fold_left
+      (fun acc tab ->
+        Detmap.fold_sorted (fun _ p acc -> Float.min acc p.p_attempt_start) tab acc)
+      (Sim.Engine.now engine) !inflight_tabs
+  in
   (* Busy-time snapshots at the window edges: utilization is measured
      over the measurement window, not diluted by warmup and drain. The
      snapshot events are installed unconditionally and draw no
      randomness, so they cannot perturb the simulation's RNG streams. *)
-  let n_nodes = Cluster.Topology.n_nodes topo in
   let busy_at_start = Array.make n_nodes 0.0 in
   let busy_at_end = Array.make n_nodes 0.0 in
   let snapshot into () =
@@ -176,6 +239,22 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
         Cluster.Net.set_handler ?phase net id
           ~cost:(fun m -> P.msg_cost cfg.cost m)
           ~handler:(fun ~src m -> P.server_handle srv ~src m);
+        (* the streaming checker's version feed: copy the scalars out
+           of the (mutable) version record before posting — the hook
+           closure may run on the worker domain *)
+        (match stream with
+         | Some st ->
+           List.iter
+             (fun store ->
+               Mvstore.Store.set_on_commit store (fun key v ~prev ~next ->
+                   let vid = v.Mvstore.Store.vid and writer = v.Mvstore.Store.writer in
+                   let pv = Option.map (fun (p : Mvstore.Store.version) -> p.vid) prev in
+                   let nv = Option.map (fun (s : Mvstore.Store.version) -> s.vid) next in
+                   feed_event (fun () ->
+                       Checker.Stream.observe_version st ~key ~vid ~writer ~prev:pv
+                         ~next:nv)))
+             (P.server_stores srv)
+         | None -> ());
         (id, srv))
       (Cluster.Topology.servers topo)
   in
@@ -212,6 +291,7 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
       let gen_rng = Sim.Rng.split rng in
       let retry_rng = Sim.Rng.split rng in
       let inflight = Hashtbl.create 64 in
+      inflight_tabs := inflight :: !inflight_tabs;
       (* forward declaration dance: the client references [report],
          which resubmits through the client *)
       let client_ref = ref None in
@@ -258,11 +338,27 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
                Stats.Hist.add hist (now -. p.p_first_start);
                Stats.Series.add series now
              end;
-             if cfg.check <> No_check then
-               Checker.Rsg.record_commit chk ~txn:o.txn.Txn.id
-                 ~start:p.p_attempt_start ~finish:now
-                 ~reads:(List.map (fun (k, vid, _) -> (k, vid)) o.reads)
-                 ~writes:o.writes
+             (match stream with
+              | Some st ->
+                (* capture plain immutable data; evaluate the watermark
+                   here, at feed time, so the async worker retires
+                   against the producer's schedule, not its own *)
+                let txn = o.txn.Txn.id
+                and start = p.p_attempt_start
+                and finish = now
+                and reads = List.map (fun (k, vid, _) -> (k, vid)) o.reads
+                and writes = o.writes
+                and wm = watermark_now () in
+                feed_event (fun () ->
+                    wm_cell := wm;
+                    Checker.Stream.observe_commit st ~txn ~start ~finish ~reads
+                      ~writes)
+              | None ->
+                if cfg.check <> No_check then
+                  Checker.Rsg.record_commit chk ~txn:o.txn.Txn.id
+                    ~start:p.p_attempt_start ~finish:now
+                    ~reads:(List.map (fun (k, vid, _) -> (k, vid)) o.reads)
+                    ~writes:o.writes)
            | Outcome.Aborted reason ->
              let reason_s = Outcome.reason_to_string reason in
              txn_e id "attempt" now o.txn.Txn.id [ ("status", reason_s) ];
@@ -338,9 +434,50 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
   (* --- go --- *)
   Sim.Engine.run ~until:horizon engine;
   (* --- collect --- *)
+  let verdict_string v ~n =
+    match v with
+    | Checker.Verdict.Ok -> Printf.sprintf "ok (%d txns)" n
+    | Checker.Verdict.Violation a ->
+      "VIOLATION: " ^ Checker.Verdict.anomaly_to_string a
+  in
   let check_result =
     match cfg.check with
     | No_check -> "skipped"
+    | Streaming ->
+      (* the worker join is the happens-before edge: after it, every
+         posted event has been consumed and the stream is ours *)
+      (match stream_worker with Some w -> Pool.shutdown w | None -> ());
+      let st = Option.get stream in
+      let v = Checker.Stream.finalize st in
+      let s = Checker.Stream.stats st in
+      Obs.Metrics.set_gauge mx "checker.commits"
+        (float_of_int s.Checker.Stream.commits);
+      Obs.Metrics.set_gauge mx "checker.epochs"
+        (float_of_int s.Checker.Stream.epochs);
+      Obs.Metrics.set_gauge mx "checker.retired"
+        (float_of_int s.Checker.Stream.retired);
+      Obs.Metrics.set_gauge mx "checker.live_high_water"
+        (float_of_int s.Checker.Stream.live_high_water);
+      Obs.Metrics.set_gauge mx "checker.pending_high_water"
+        (float_of_int s.Checker.Stream.pending_high_water);
+      Obs.Metrics.set_gauge mx "checker.stale_residue"
+        (float_of_int s.Checker.Stream.stale_residue);
+      (match obs with
+       | Some r ->
+         Obs.Recorder.name_track r ~node:checker_node "checker";
+         Obs.Recorder.instant r ~node:checker_node ~name:"finalize"
+           ~cat:"checker"
+           ~ts:(Sim.Engine.now engine)
+           ~args:
+             [
+               ("commits", string_of_int s.Checker.Stream.commits);
+               ("live_high_water", string_of_int s.Checker.Stream.live_high_water);
+               ("retired", string_of_int s.Checker.Stream.retired);
+               ("verdict", Checker.Verdict.to_string v);
+             ]
+           ()
+       | None -> ());
+      verdict_string v ~n:(Checker.Stream.n_observed st)
     | (Serializable | Strict) as lvl ->
       List.iter
         (fun (_, srv) ->
@@ -348,10 +485,9 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
             (fun (key, vids) -> Checker.Rsg.record_version_order chk key vids)
             (P.server_version_orders srv))
         servers;
-      (match Checker.Rsg.check chk ~strict:(lvl = Strict) with
-       | Checker.Rsg.Ok ->
-         Printf.sprintf "ok (%d txns)" (Checker.Rsg.n_committed chk)
-       | Checker.Rsg.Violation v -> "VIOLATION: " ^ v)
+      verdict_string
+        (Checker.Rsg.check chk ~strict:(lvl = Strict))
+        ~n:(Checker.Rsg.n_committed chk)
   in
   (* Protocol counters land in the metrics registry scoped to the node
      that produced them; [counter_totals] sums each family across nodes,

@@ -10,7 +10,11 @@ type latency_spec =
       (** replica nodes live in a remote datacenter: any path touching a
           replica pays the wide-area one-way delay *)
 
-type check_level = No_check | Serializable | Strict
+(** [Serializable]/[Strict] retain the whole history and run the
+    post-hoc {!Checker.Rsg} after the run; [Streaming] feeds the
+    windowed {!Checker.Stream} as commits happen — bounded memory,
+    same verdict (the equivalence property pins this). *)
+type check_level = No_check | Serializable | Strict | Streaming
 
 type config = {
   seed : int;
@@ -28,6 +32,13 @@ type config = {
   max_clock_offset : float;
   max_clock_drift : float;
   check : check_level;
+  check_window : int;
+      (** [Streaming] only: commits per checker epoch — the GC window
+          (default 1024) *)
+  check_async : bool;
+      (** [Streaming] only: feed the checker through a background
+          domain instead of inline (default false). The verdict is
+          mode-independent; only wall-clock cost moves. *)
   series_width : float option;
   replicas_per_server : int;
       (** replica nodes per server, for replicated protocols (default 0) *)

@@ -52,6 +52,12 @@ type t = {
          the key universe stabilises after warmup, so revalidation is
          O(n) with no sort *)
   mutable created : int;  (* versions created by this store (stats) *)
+  mutable on_commit :
+    (Types.key -> version -> prev:version option -> next:version option -> unit)
+    option;
+      (* streaming-checker hook: fired for every committed version
+         (and each key's initial version) with its nearest *committed*
+         chain neighbors at commit time *)
 }
 
 (* Vid source is domain-local: Runner.run calls [reset_vids] at the
@@ -66,7 +72,10 @@ let fresh_vid () =
   incr c;
   !c
 
-let create () = { tbl = Hashtbl.create 1024; kc = Detmap.cache (); created = 0 }
+let create () =
+  { tbl = Hashtbl.create 1024; kc = Detmap.cache (); created = 0; on_commit = None }
+
+let set_on_commit t f = t.on_commit <- Some f
 
 let initial_version () =
   {
@@ -85,6 +94,11 @@ let chain t key =
   | None ->
     let c = { vs = Array.make 4 (initial_version ()); n = 1 } in
     Hashtbl.add t.tbl key c;
+    (* the initial version is born committed; announce it so the
+       streaming checker learns its vid *)
+    (match t.on_commit with
+     | Some f -> f key c.vs.(0) ~prev:None ~next:None
+     | None -> ());
     c
 
 (* Insert [v] at position [i], shifting the newer suffix right. *)
@@ -156,6 +170,31 @@ let commit_version v =
   let waiters = v.parked in
   v.parked <- [];
   List.iter (fun f -> f v) waiters
+
+(* Keyed commit: same as [commit_version], but with enough context to
+   fire the [on_commit] hook with the version's nearest committed
+   neighbors at commit time (MVTO inserts can land mid-chain, so the
+   successor is not always [None]). Protocol servers commit through
+   this entry point. *)
+let commit_in t key v =
+  commit_version v;
+  match t.on_commit with
+  | None -> ()
+  | Some f ->
+    let c = chain t key in
+    let i = index_of c v.vid in
+    if i >= 0 then begin
+      let nearest_committed from step =
+        let j = ref from in
+        while !j >= 0 && !j < c.n && c.vs.(!j).status <> Committed do
+          j := !j + step
+        done;
+        if !j >= 0 && !j < c.n then Some c.vs.(!j) else None
+      in
+      let prev = nearest_committed (i - 1) (-1) in
+      let next = nearest_committed (i + 1) 1 in
+      f key v ~prev ~next
+    end
 
 (* Unlink an aborted version from its chain. *)
 let abort_version t key v =

@@ -39,6 +39,21 @@ val read : ?refine:bool -> t -> Types.key -> ts:Ts.t -> version
 (** Flip a version to committed and run its parked callbacks. *)
 val commit_version : version -> unit
 
+(** [commit_in t key v] is {!commit_version} plus the [on_commit]
+    announcement: the hook receives the version together with its
+    nearest committed chain neighbors at commit time. Protocol
+    servers commit through this entry point so streaming checkers can
+    rebuild per-key version orders online. *)
+val commit_in : t -> Types.key -> version -> unit
+
+(** Install the per-store commit observer. It fires for every
+    [commit_in] and for each key's initial version when its chain is
+    created. *)
+val set_on_commit :
+  t ->
+  (Types.key -> version -> prev:version option -> next:version option -> unit) ->
+  unit
+
 (** Unlink an aborted version and run its parked callbacks. *)
 val abort_version : t -> Types.key -> version -> unit
 

@@ -313,7 +313,7 @@ let apply_decision t ~wire ~commit =
       List.iter
         (fun it ->
           if it.it_is_write then
-            if commit then Store.commit_version it.it_ver
+            if commit then Store.commit_in t.store it.it_key it.it_ver
             else begin
               (* collect this version's blocked readers before unlinking *)
               let blocked =
@@ -750,6 +750,7 @@ let handle t ~src msg =
 (* --- introspection ---------------------------------------------------- *)
 
 let version_orders t = Store.all_committed_orders t.store
+let store t = t.store
 
 let counters t =
   [

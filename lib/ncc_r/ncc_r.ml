@@ -175,6 +175,7 @@ let server_handle s ~src msg =
      | None -> ())
 
 let server_version_orders s = Ncc.Server.version_orders s.inner
+let server_stores s = [ Ncc.Server.store s.inner ]
 
 let server_counters s =
   ("proposed", float_of_int s.n_proposed)
@@ -231,6 +232,7 @@ let make_protocol ?(config = Ncc.Msg.default_config) ?(mode = Every_request)
     let make_server = make_server config mode raft_timeouts
     let server_handle = server_handle
     let server_version_orders = server_version_orders
+    let server_stores = server_stores
     let server_counters = server_counters
 
     type client = Ncc.Client.t

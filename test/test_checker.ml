@@ -5,7 +5,9 @@
 module Rsg = Checker.Rsg
 
 let check t ~strict =
-  match Rsg.check t ~strict with Rsg.Ok -> "ok" | Rsg.Violation _ -> "violation"
+  match Rsg.check t ~strict with
+  | Checker.Verdict.Ok -> "ok"
+  | Checker.Verdict.Violation _ -> "violation"
 
 (* tx1 writes v1 on key 1; tx2 reads it. Legal. *)
 let accepts_simple_wr () =
@@ -75,10 +77,11 @@ let rejects_dirty_read () =
   Rsg.record_commit t ~txn:1 ~start:0.0 ~finish:1.0 ~reads:[ (1, 999) ] ~writes:[];
   Rsg.record_version_order t 1 [ 100 ];
   match Rsg.check t ~strict:false with
-  | Rsg.Violation msg ->
-    Alcotest.(check bool) "mentions dirty read" true
-      (String.length msg >= 10 && String.sub msg 0 10 = "dirty read")
-  | Rsg.Ok -> Alcotest.fail "dirty read must be flagged"
+  | Checker.Verdict.Violation (Checker.Verdict.Dirty_read { txn; key; vid }) ->
+    Alcotest.(check (triple int int int))
+      "dirty read evidence" (1, 1, 999) (txn, key, vid)
+  | v ->
+    Alcotest.fail ("dirty read must be flagged, got " ^ Checker.Verdict.to_string v)
 
 let accepts_long_serial_history () =
   let t = Rsg.create () in
@@ -109,7 +112,7 @@ let disjoint_keys_any_order =
             ~writes:[ (key, (10 * key) + 1) ];
           Rsg.record_version_order t key [ 10 * key; (10 * key) + 1 ])
         spans;
-      Rsg.check t ~strict:true = Rsg.Ok)
+      Checker.Verdict.is_ok (Rsg.check t ~strict:true))
 
 (* --- randomized histories with planted violations ------------------- *)
 
@@ -156,7 +159,7 @@ let serial_always_strict_ok =
     ~count:200 script_gen (fun specs ->
       let t, orders, _ = serial_history specs in
       finalize t orders;
-      Rsg.check t ~strict:true = Rsg.Ok)
+      Checker.Verdict.is_ok (Rsg.check t ~strict:true))
 
 (* Two disjoint-in-time writers of one key whose installed order is
    inverted: serializable (no execution cycle) but a strict violation,
@@ -181,7 +184,7 @@ let planted_inversion_caught =
         ~finish:(float_of_int (3 + gap))
         ~reads:[] ~writes:[ (0, 12) ];
       Rsg.record_version_order t 0 [ 10; 12; 11 ];  (* inverted *)
-      Rsg.check t ~strict:true <> Rsg.Ok && Rsg.check t ~strict:false = Rsg.Ok)
+      not (Checker.Verdict.is_ok (Rsg.check t ~strict:true)) && Checker.Verdict.is_ok (Rsg.check t ~strict:false))
 
 let planted_dirty_read_caught =
   QCheck.Test.make ~name:"planted dirty read is caught" ~count:200 script_gen
@@ -191,7 +194,7 @@ let planted_dirty_read_caught =
       (* a read of a version no server ever committed *)
       Rsg.record_commit t ~txn:(n + 1) ~start:1e6 ~finish:(1e6 +. 1.0)
         ~reads:[ (0, 99999) ] ~writes:[];
-      Rsg.check t ~strict:false <> Rsg.Ok)
+      not (Checker.Verdict.is_ok (Rsg.check t ~strict:false)))
 
 let planted_wr_cycle_caught =
   QCheck.Test.make ~name:"planted wr-wr cycle is caught" ~count:200 script_gen
@@ -205,7 +208,7 @@ let planted_wr_cycle_caught =
       Rsg.record_commit t ~txn:(n + 2) ~start:1e6 ~finish:(1e6 +. 10.0)
         ~reads:[ (0, 99990) ] ~writes:[ (1, 99991) ];
       finalize t orders;
-      Rsg.check t ~strict:false <> Rsg.Ok)
+      not (Checker.Verdict.is_ok (Rsg.check t ~strict:false)))
 
 let suite =
   [

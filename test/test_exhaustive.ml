@@ -144,9 +144,11 @@ let exhaust ~name ~txns ~positions =
         run_schedule ~cfg:Ncc.Msg.default_config ~txns (Array.of_list sched)
       in
       (match verdict with
-       | Checker.Rsg.Ok -> ()
-       | Checker.Rsg.Violation v ->
-         Alcotest.fail (Printf.sprintf "%s schedule %d: %s" name !count v));
+       | Checker.Verdict.Ok -> ()
+       | Checker.Verdict.Violation a ->
+         Alcotest.fail
+           (Printf.sprintf "%s schedule %d: %s" name !count
+              (Checker.Verdict.anomaly_to_string a)));
       if List.exists (fun (_, o) -> Outcome.committed o) outcomes then
         committed_some := true)
     (schedules choices positions);

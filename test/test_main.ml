@@ -9,6 +9,7 @@ let () =
       ("store-model", Test_store_model.suite);
       ("locks", Test_locks.suite);
       ("checker", Test_checker.suite);
+      ("checker-stream", Test_checker_stream.suite);
       ("stats", Test_stats.suite);
       ("ncc-server", Test_ncc_server.suite);
       ("ncc-client", Test_ncc_client.suite);

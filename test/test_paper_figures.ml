@@ -319,11 +319,13 @@ let pitfall_without_rtc () =
   Alcotest.(check bool) "tx1 committed" true (committed outcomes "tx1");
   Alcotest.(check bool) "tx4 committed" true (committed outcomes "tx4");
   (match ser with
-   | Checker.Rsg.Ok -> ()
-   | Checker.Rsg.Violation v -> Alcotest.fail ("should stay serializable: " ^ v));
+   | Checker.Verdict.Ok -> ()
+   | Checker.Verdict.Violation a ->
+     Alcotest.fail
+       ("should stay serializable: " ^ Checker.Verdict.anomaly_to_string a));
   match strict with
-  | Checker.Rsg.Violation _ -> () (* the pitfall, caught *)
-  | Checker.Rsg.Ok ->
+  | Checker.Verdict.Violation _ -> () (* the pitfall, caught *)
+  | Checker.Verdict.Ok ->
     Alcotest.fail "expected a strict-serializability violation without RTC"
 
 let rtc_prevents_pitfall () =
@@ -331,8 +333,10 @@ let rtc_prevents_pitfall () =
   Alcotest.(check bool) "tx1 committed" true (committed outcomes "tx1");
   Alcotest.(check bool) "tx4 committed" true (committed outcomes "tx4");
   match strict with
-  | Checker.Rsg.Ok -> ()
-  | Checker.Rsg.Violation v -> Alcotest.fail ("RTC must prevent the inversion: " ^ v)
+  | Checker.Verdict.Ok -> ()
+  | Checker.Verdict.Violation a ->
+    Alcotest.fail
+      ("RTC must prevent the inversion: " ^ Checker.Verdict.anomaly_to_string a)
 
 let suite =
   [

@@ -6,14 +6,22 @@ let percentile_close_to_exact =
     (fun samples ->
       let h = Stats.Hist.create () in
       List.iter (Stats.Hist.add h) samples;
-      let sorted = List.sort Float.compare samples in
-      let n = List.length sorted in
-      let exact q = List.nth sorted (min (n - 1) (int_of_float (q *. float_of_int n))) in
-      List.for_all
-        (fun q ->
-          let e = exact q and got = Stats.Hist.percentile h q in
-          got >= e /. 1.15 && got <= e *. 1.15)
-        [ 0.5; 0.9; 0.99 ])
+      let sorted = Array.of_list (List.sort Float.compare samples) in
+      let n = Array.length sorted in
+      (* the histogram reports the upper edge of the bucket holding the
+         order statistic at rank ceil(q*n); compare against that exact
+         rank (not floor(q*n)+1 — off by one rank, which gaps past any
+         tolerance on sparse samples) within the 4% bucket width *)
+      let exact q =
+        let r = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+        sorted.(r - 1)
+      in
+      n = 0
+      || List.for_all
+           (fun q ->
+             let e = exact q and got = Stats.Hist.percentile h q in
+             got >= e *. 0.999 && got <= e *. 1.05)
+           [ 0.5; 0.9; 0.99 ])
 
 let hist_basic () =
   let h = Stats.Hist.create () in
