@@ -22,9 +22,15 @@
    Retirement (the GC window invariant): let the watermark W be a
    lower bound on the start time of every transaction whose commit has
    not yet been observed (the harness computes W from its in-flight
-   tables). A transaction t with finish(t) < W, no unresolved reads
-   and no unannounced writes is *retired* after a passed cycle check:
-   every future transaction u has start(u) >= W > finish(t), so the
+   tables). The harness watermark says nothing about records *already*
+   observed that still await announcements (reads parked on
+   unannounced versions, writes whose server announcement is in
+   flight) — such a record may have started arbitrarily early — so
+   each epoch clamps W down to the earliest start among those records
+   before the sweep. A transaction t with finish(t) < W, no unresolved
+   reads and no unannounced writes is *retired* after a passed cycle
+   check: every future transaction u — including a parked one whose
+   announcement resolves later — has start(u) >= W > finish(t), so the
    real-time edge t -> u is guaranteed. Consequently any *future* edge
    into t closes a 2-cycle with that guaranteed edge and can be
    reported immediately, without keeping t's record:
@@ -75,6 +81,12 @@ type entry = {
   mutable e_retired_reader : int option;
       (* a reader that retired before this version's writer record
          arrived (instant wr-into-retired evidence) *)
+  mutable e_retired_succ : int option;
+      (* the retired writer of this version's nearest committed
+         successor, seen at announcement time before the entry was
+         claimed (instant ww-into-retired evidence, parked so the
+         witness can name the transaction id instead of the server's
+         wire id once the record arrives) *)
   mutable e_prev : entry option;
   mutable e_next : entry option;
 }
@@ -206,6 +218,7 @@ let observe_version t ~key ~vid ~writer ~prev ~next =
         e_writer_seen = writer = 0;
         e_readers = [];
         e_retired_reader = None;
+        e_retired_succ = None;
         e_prev = None;
         e_next = None;
       }
@@ -223,15 +236,30 @@ let observe_version t ~key ~vid ~writer ~prev ~next =
     insert_after ko prev_e e;
     Hashtbl.replace t.vindex vid e;
     (* instant ww-into-retired: committed between a retired writer's
-       version and its predecessors = timestamp inversion *)
+       version and its predecessors = timestamp inversion. Sound
+       because the retirement gate in [run_epoch] guarantees the
+       retired successor's writer finished before this writer started,
+       whether this entry's record is already here (claimed from
+       pend_writes), still in flight, or arrives later. The witness
+       must name the writing *transaction*: servers announce under
+       per-attempt wire ids, so if the entry is unclaimed the evidence
+       is parked on it ([e_retired_succ]) and fires when the commit
+       record claims it in [observe_commit]. *)
     (match next with
      | Some nv -> (
-       match Hashtbl.find_opt t.stale nv with
-       | Some w -> cycle2 t writer w
-       | None -> (
-         match Hashtbl.find_opt t.vindex nv with
-         | Some ne when entry_retired t ne -> cycle2 t writer ne.e_writer
-         | _ -> ()))
+       let succ_writer =
+         match Hashtbl.find_opt t.stale nv with
+         | Some w -> Some w
+         | None -> (
+           match Hashtbl.find_opt t.vindex nv with
+           | Some ne when entry_retired t ne -> Some ne.e_writer
+           | _ -> None)
+       in
+       match succ_writer with
+       | Some w ->
+         if e.e_writer_seen then (if e.e_writer <> 0 then cycle2 t e.e_writer w)
+         else e.e_retired_succ <- Some w
+       | None -> ())
      | None -> ());
     (* resolve readers that were parked on this vid *)
     match Hashtbl.find_opt t.pend_reads vid with
@@ -411,7 +439,23 @@ let run_epoch t =
   t.since_epoch <- 0;
   t.n_epochs <- t.n_epochs + 1;
   if cycle_check t ~final:false then begin
-    let wm = t.watermark () in
+    (* Retirement gate: the harness watermark only bounds the starts
+       of transactions whose commit is still *unobserved*. A record
+       already in the live set with reads parked on unannounced
+       versions (t_pending > 0) or writes awaiting a server
+       announcement (t_unobserved > 0) may have started arbitrarily
+       earlier, so clamp the watermark to the earliest such start:
+       nothing retires past a parked record, and the instant
+       retired-edge rules that fire when its announcements finally
+       resolve only ever claim real-time edges that genuinely hold
+       (retired finish < gated watermark <= parked start). *)
+    let wm =
+      List.fold_left
+        (fun acc r ->
+          if r.t_pending > 0 || r.t_unobserved > 0 then Float.min acc r.t_start
+          else acc)
+        (t.watermark ()) t.recs
+    in
     let eligible r = r.t_finish < wm && r.t_pending = 0 && r.t_unobserved = 0 in
     let retired_now = List.filter eligible t.recs in
     if retired_now <> [] then begin
@@ -452,11 +496,16 @@ let observe_commit t ~txn ~start ~finish ~reads ~writes =
           (match e.e_retired_reader with
            | Some rdr -> cycle2 t txn rdr
            | None -> ());
-          (* our version's successor retired while the record was in
-             flight: ww edge into the retired set *)
-          (match succ_retired t e with
+          (* our version's successor was retired at announcement time
+             (parked evidence, possibly since pruned to [stale]) or
+             retired while the record was in flight: ww edge into the
+             retired set *)
+          (match e.e_retired_succ with
            | Some w -> cycle2 t txn w
-           | None -> ())
+           | None -> (
+             match succ_retired t e with
+             | Some w -> cycle2 t txn w
+             | None -> ()))
         | None ->
           (* server announcement still in flight *)
           r.t_unobserved <- r.t_unobserved + 1;

@@ -83,6 +83,7 @@ type worker = {
   cv : Condition.t;
   stop : bool ref;
   dom : unit Domain.t;
+  mutable joined : bool;  (* shutdown already ran (producer-side only) *)
 }
 
 let worker () =
@@ -103,7 +104,7 @@ let worker () =
       loop ()
     end
   in
-  { q; m; cv; stop; dom = Domain.spawn loop }
+  { q; m; cv; stop; dom = Domain.spawn loop; joined = false }
 
 let post w f =
   Mutex.lock w.m;
@@ -111,9 +112,17 @@ let post w f =
   Condition.signal w.cv;
   Mutex.unlock w.m
 
+(* Idempotent: the runner shuts the worker down in an exception-safe
+   finally clause and again on the normal collection path (the join is
+   the happens-before edge either way); only the first call joins. The
+   flag is only touched by the producer domain, so no lock is needed
+   around it. *)
 let shutdown w =
-  Mutex.lock w.m;
-  w.stop := true;
-  Condition.signal w.cv;
-  Mutex.unlock w.m;
-  Domain.join w.dom
+  if not w.joined then begin
+    w.joined <- true;
+    Mutex.lock w.m;
+    w.stop := true;
+    Condition.signal w.cv;
+    Mutex.unlock w.m;
+    Domain.join w.dom
+  end

@@ -48,5 +48,7 @@ val post : worker -> (unit -> unit) -> unit
 
 (** Drain the queue, stop and join the domain. The join is the
     happens-before edge: after [shutdown] returns, the producer may
-    read anything the posted closures wrote. *)
+    read anything the posted closures wrote. Idempotent — repeated
+    calls (e.g. an exception-safe finally clause plus the normal
+    collection path) are no-ops after the first. *)
 val shutdown : worker -> unit

@@ -432,7 +432,14 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
         arrival)
     (Cluster.Topology.clients topo);
   (* --- go --- *)
-  Sim.Engine.run ~until:horizon engine;
+  (* If the run raises, the checker worker domain must still be
+     stopped and joined, or the process hangs at exit on its
+     [Condition.wait]; shutdown is idempotent, so the normal
+     collection path below re-calls it harmlessly. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match stream_worker with Some w -> Pool.shutdown w | None -> ())
+    (fun () -> Sim.Engine.run ~until:horizon engine);
   (* --- collect --- *)
   let verdict_string v ~n =
     match v with

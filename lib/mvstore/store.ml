@@ -75,7 +75,26 @@ let fresh_vid () =
 let create () =
   { tbl = Hashtbl.create 1024; kc = Detmap.cache (); created = 0; on_commit = None }
 
-let set_on_commit t f = t.on_commit <- Some f
+(* Installing the hook also replays the committed versions of every
+   chain that already exists: a protocol may touch its store during
+   server construction, before the harness can install the hook, and
+   those versions would otherwise never be announced — parking their
+   readers forever. Replaying oldest-first with the previous committed
+   version as [prev] reproduces exactly the announcements an
+   incrementally built chain would have made. *)
+let set_on_commit t f =
+  t.on_commit <- Some f;
+  Detmap.iter_sorted_cached t.kc
+    (fun key c ->
+      let prev = ref None in
+      for i = 0 to c.n - 1 do
+        let v = c.vs.(i) in
+        if v.status = Committed then begin
+          f key v ~prev:!prev ~next:None;
+          prev := Some v
+        end
+      done)
+    t.tbl
 
 let initial_version () =
   {

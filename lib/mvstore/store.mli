@@ -48,7 +48,11 @@ val commit_in : t -> Types.key -> version -> unit
 
 (** Install the per-store commit observer. It fires for every
     [commit_in] and for each key's initial version when its chain is
-    created. *)
+    created. Installation also replays the committed versions of
+    chains that already exist (oldest first, with the previous
+    committed version as [prev]), so versions committed before the
+    hook was installed — e.g. during server construction — are never
+    silently skipped. *)
 val set_on_commit :
   t ->
   (Types.key -> version -> prev:version option -> next:version option -> unit) ->

@@ -244,6 +244,75 @@ let live_set_stays_bounded () =
   if stats.Stream.retired < 100_000 - (2 * 1024) then
     Alcotest.fail (Printf.sprintf "only %d retired" stats.Stream.retired)
 
+(* --- delayed announcements (records ahead of server announcements) -- *)
+
+(* A legal history whose server announcements lag the commit records:
+   reader 10 parks on vid 2, writer 20's announcement of vid 2 is in
+   flight, and txn 30 — whose version 3 is vid 2's committed
+   successor — becomes retirement-eligible by the harness watermark
+   alone (every *unobserved* txn starts at >= 10). The retirement gate
+   must keep 30 live until the parked records resolve; without it,
+   vid 2's announcement tripped the instant retired-edge rules and
+   reported a false violation on this strictly serializable history
+   (serial order 20, 10, 30 respects real time). *)
+let delayed_announcements_stay_ok () =
+  let wm = ref Float.neg_infinity in
+  let t = Stream.create ~gc:true ~epoch:1 ~watermark:(fun () -> !wm) () in
+  Stream.observe_version t ~key:1 ~vid:1 ~writer:0 ~prev:None ~next:None;
+  (* reader of vid 2, which no server has announced yet *)
+  Stream.observe_commit t ~txn:10 ~start:0.0 ~finish:1.0 ~reads:[ (1, 2) ]
+    ~writes:[];
+  (* vid 2's writer: record first, announcement in flight *)
+  Stream.observe_commit t ~txn:20 ~start:0.5 ~finish:2.0 ~reads:[]
+    ~writes:[ (1, 2) ];
+  (* txn 30 writes vid 3, the eventual successor of vid 2 *)
+  Stream.observe_version t ~key:1 ~vid:3 ~writer:777 ~prev:(Some 1) ~next:None;
+  wm := 10.0;
+  Stream.observe_commit t ~txn:30 ~start:5.0 ~finish:6.0 ~reads:[]
+    ~writes:[ (1, 3) ];
+  (* the lagging announcement resolves both parked records *)
+  Stream.observe_version t ~key:1 ~vid:2 ~writer:999 ~prev:(Some 1)
+    ~next:(Some 3);
+  Alcotest.(check string)
+    "legal history stays ok" "ok"
+    (V.to_string (Stream.finalize t))
+
+(* A genuine timestamp inversion through the same delayed path: txn 30
+   retires, then txn 20 — which started after 30 finished — installs
+   vid 2 *before* 30's version in the order. Both claim orders (commit
+   record before the announcement, and announcement before the record)
+   must report the two-cycle with the transaction id, never the
+   server's per-attempt wire id (999). *)
+let parked_inversion_witness_names_txn () =
+  let golden = "strict-serializability cycle: tx20 -> tx30" in
+  let check_order name record_first =
+    let wm = ref Float.neg_infinity in
+    let t = Stream.create ~gc:true ~epoch:1 ~watermark:(fun () -> !wm) () in
+    Stream.observe_version t ~key:1 ~vid:1 ~writer:0 ~prev:None ~next:None;
+    Stream.observe_version t ~key:1 ~vid:3 ~writer:777 ~prev:(Some 1)
+      ~next:None;
+    wm := 10.0;
+    (* the epoch at 30's commit retires it: nothing is parked *)
+    Stream.observe_commit t ~txn:30 ~start:0.0 ~finish:1.0 ~reads:[]
+      ~writes:[ (1, 3) ];
+    let announce () =
+      Stream.observe_version t ~key:1 ~vid:2 ~writer:999 ~prev:(Some 1)
+        ~next:(Some 3)
+    and record () =
+      Stream.observe_commit t ~txn:20 ~start:20.0 ~finish:21.0 ~reads:[]
+        ~writes:[ (1, 2) ]
+    in
+    if record_first then (
+      record ();
+      announce ())
+    else (
+      announce ();
+      record ());
+    Alcotest.(check string) name golden (V.to_string (Stream.finalize t))
+  in
+  check_order "record then announcement (pend_writes claim)" true;
+  check_order "announcement then record (parked evidence)" false
+
 (* --- runner-level agreement ----------------------------------------- *)
 
 let small_cfg seed =
@@ -333,6 +402,10 @@ let suite =
         no_rtc_negative_control;
       Alcotest.test_case "100k-txn live set stays bounded under GC" `Quick
         live_set_stays_bounded;
+      Alcotest.test_case "delayed announcements never fake a violation" `Quick
+        delayed_announcements_stay_ok;
+      Alcotest.test_case "parked inversion witness names the txn, not the wire id"
+        `Quick parked_inversion_witness_names_txn;
       Alcotest.test_case "async feed matches sync feed" `Quick async_matches_sync;
       Alcotest.test_case "quick tiers are never skipped" `Quick
         quick_tiers_not_skipped;

@@ -110,6 +110,30 @@ let committed_order_oldest_first () =
   Alcotest.(check bool) "oldest first" true
     (List.nth order 1 = a.Store.vid && List.nth order 2 = b.Store.vid)
 
+(* Chains built before the streaming-checker hook is installed (a
+   protocol may touch its store during server construction) are
+   replayed to the hook at install time: committed versions announce
+   oldest-first with the previous committed version as [prev], and
+   undecided versions wait for their own [commit_in]. *)
+let set_on_commit_replays_existing_chains () =
+  let s = fresh () in
+  let w = Store.write s 1 42 ~ts:(ts 5) ~writer:7 in
+  Store.commit_in s 1 w;
+  ignore (Store.write s 1 43 ~ts:(ts 9) ~writer:8);
+  let announced = ref [] in
+  Store.set_on_commit s (fun key v ~prev ~next ->
+      let vid (o : Store.version option) =
+        match o with None -> "-" | Some p -> string_of_int p.Store.vid
+      in
+      announced :=
+        Printf.sprintf "k%d v%d prev=%s next=%s" key v.Store.vid (vid prev)
+          (vid next)
+        :: !announced);
+  Alcotest.(check (list string))
+    "committed versions replayed oldest-first, undecided skipped"
+    [ "k1 v1 prev=- next=-"; "k1 v2 prev=1 next=-" ]
+    (List.rev !announced)
+
 let gc_keeps_undecided_and_terminator () =
   let s = fresh () in
   let undecided = ref None in
@@ -162,6 +186,8 @@ let suite =
     Alcotest.test_case "ordered insert + version_at" `Quick ordered_insert_and_version_at;
     Alcotest.test_case "park callbacks" `Quick park_callbacks;
     Alcotest.test_case "committed order" `Quick committed_order_oldest_first;
+    Alcotest.test_case "set_on_commit replays pre-hook chains" `Quick
+      set_on_commit_replays_existing_chains;
     Alcotest.test_case "gc" `Quick gc_keeps_undecided_and_terminator;
   ]
   @ [ QCheck_alcotest.to_alcotest chain_invariant ]
