@@ -348,6 +348,41 @@ let micro () =
       List.rev !rows)
     tests
 
+(* --- analyzer cost: the typed + race lint planes, timed --------------- *)
+
+(* One full typed-engine pass (R7-R10 + the race plane R12-R15) over
+   the workspace's .cmt files, reported as the "lint.typed" micro row
+   so analyzer cost is tracked next to the primitive timings. A host
+   wall-clock figure, like every micro row: parity byte-diffs must
+   select experiments that exclude it. Contributes no row when no
+   build tree is visible (an installed binary run outside the
+   workspace). *)
+let lint () =
+  let root = "_build/default" in
+  if not (Sys.file_exists root && Sys.is_directory root) then begin
+    Printf.printf "lint.typed: no %s under the cwd; skipping\n" root;
+    []
+  end
+  else begin
+    let rec walk path acc =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.sort String.compare
+        |> List.fold_left (fun acc n -> walk (Filename.concat path n) acc) acc
+      else if Filename.check_suffix path ".cmt" then path :: acc
+      else acc
+    in
+    let cmts = List.rev (walk root []) in
+    (* ncc-lint: allow R2 — wall-clock times the analyzer itself *)
+    let t0 = Unix.gettimeofday () in
+    let findings, _ = Lint.Typed_engine.lint_cmts cmts in
+    (* ncc-lint: allow R2 — wall-clock times the analyzer itself *)
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-36s %12.1f ns/run  (%d units, %d pre-waiver findings)\n"
+      "lint.typed" (elapsed *. 1e9) (List.length cmts) (List.length findings);
+    [ Harness.Report.micro_row ~name:"lint.typed" ~ns_per_run:(elapsed *. 1e9) ]
+  end
+
 (* --- driver ----------------------------------------------------------- *)
 
 let all_experiments =
@@ -364,6 +399,7 @@ let all_experiments =
     ("replication", replication);
     ("geo", geo);
     ("micro", micro);
+    ("lint", lint);
   ]
 
 let () =

@@ -1,26 +1,31 @@
 (* ncc_lint — the determinism linter (docs/determinism.md).
 
    Usage: ncc_lint [--json] [--werror] [--rules R1,R7,...]
-                   [--cmt-root DIR] [PATH ...]
+                   [--cmt-root DIR] [--explain Rn] [PATH ...]
 
    Lints every .ml file under the given paths (default: lib bin bench
    test) against the syntactic rule set R1-R6, and — when --cmt-root
    points at a build tree containing .cmt files — the typed rules
-   R7-R11 as well. Exits non-zero if any error-severity finding
-   survives waivers; [--werror] also fails on warnings (unused waiver
-   pragmas). *)
+   R7-R10 and the race plane R12-R15 as well. Exits non-zero if any
+   error-severity finding survives waivers; [--werror] also fails on
+   warnings (unused waiver pragmas). *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
 let usage =
   "usage: ncc_lint [--json] [--werror] [--rules R1,R7,...] [--cmt-root DIR] \
-   [PATH ...]\n\n\
+   [--explain Rn] [PATH ...]\n\n\
   \  --json          emit findings as JSON instead of file:line text\n\
+  \                  (top-level \"version\" field tracks the schema)\n\
   \  --werror        exit non-zero on warnings too\n\
-  \  --rules IDS     run only the comma-separated rule ids (e.g. R7,R9)\n\
-  \  --cmt-root DIR  also run the typed rules R7-R11 over the .cmt files\n\
-  \                  found under DIR (a dune build tree, e.g. _build/default\n\
-  \                  — or . when already running inside it)\n\
+  \  --rules IDS     run only the comma-separated rule ids (e.g. R7,R9);\n\
+  \                  retired ids select their successor (R11 -> R12)\n\
+  \  --cmt-root DIR  also run the typed rules R7-R10 and the race plane\n\
+  \                  R12-R15 over the .cmt files found under DIR (a dune\n\
+  \                  build tree, e.g. _build/default — or . when already\n\
+  \                  running inside it)\n\
+  \  --explain IDS   print each rule's summary, rationale and a minimal\n\
+  \                  firing example, then exit (e.g. --explain R12)\n\
   \  --help          show this message\n\n\
    Default PATHs: lib bin bench test. Rules: docs/determinism.md.\n"
 
@@ -69,6 +74,32 @@ let parse_rules spec =
           (String.concat " " Lint.Rules.known_ids)));
   ids
 
+(* --explain: the registry's documentation, on the terminal. *)
+let explain ids =
+  List.iteri
+    (fun i id ->
+      match Lint.Rules.find id with
+      | None ->
+        die
+          (Printf.sprintf "unknown rule id: %s (known: %s)" id
+             (String.concat " " Lint.Rules.known_ids))
+      | Some r ->
+        if i > 0 then print_newline ();
+        let canon = Lint.Rules.canon_id id in
+        if canon <> id then
+          Printf.printf "%s is retired; it is an alias of %s:\n\n" id canon;
+        Printf.printf "%s (%s) — %s\n\n%s\n\nfires on:\n" r.id
+          (Lint.Rules.severity_to_string r.severity)
+          r.summary r.rationale;
+        List.iter
+          (fun l -> Printf.printf "    %s\n" l)
+          (String.split_on_char '\n' r.example);
+        if r.allowed_files <> [] then
+          Printf.printf "\nexempt files: %s\n"
+            (String.concat ", " r.allowed_files))
+    ids;
+  exit 0
+
 let split_eq a =
   match String.index_opt a '=' with
   | Some i ->
@@ -88,10 +119,13 @@ let parse_args args =
     | [ "--rules" ] -> die "--rules needs an argument"
     | "--cmt-root" :: dir :: rest -> go { o with cmt_root = Some dir } rest
     | [ "--cmt-root" ] -> die "--cmt-root needs an argument"
+    | "--explain" :: spec :: _ -> explain (parse_rules spec)
+    | [ "--explain" ] -> die "--explain needs a rule id (e.g. --explain R12)"
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> (
       match split_eq a with
       | Some ("--rules", spec) -> go { o with rules = Some (parse_rules spec) } rest
       | Some ("--cmt-root", dir) -> go { o with cmt_root = Some dir } rest
+      | Some ("--explain", spec) -> explain (parse_rules spec)
       | _ -> die (Printf.sprintf "unknown flag: %s" a))
     | path :: rest -> go { o with roots = o.roots @ [ path ] } rest
   in

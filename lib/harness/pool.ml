@@ -23,8 +23,10 @@
    outputs therefore cannot move unless a caller opts in with
    --jobs > 1, and when it does, outputs still cannot move because of
    the isolation + canonical merge argument above (audited statically
-   by lint rule R11, which flags toplevel mutable state reachable from
-   a submitted closure).
+   by lint rule R12, the race plane's escape analysis: any mutable
+   location — toplevel, captured local, or mutable field — reachable
+   from a submitted closure is flagged unless it goes through Atomic,
+   a held mutex, Domain.DLS, or a per-slot write at the job's index).
 
    Exceptions are confined to their job: a raising job records its
    exception in its own slot and the worker moves on, so one bad seed

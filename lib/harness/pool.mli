@@ -2,8 +2,8 @@
 
     Jobs must be self-contained closures: they build their own
     simulation world (engine, rng, net, stores) and touch no shared
-    mutable state — lint rule R11 audits submitted closures for
-    toplevel mutable state statically, and per-run ambient counters
+    mutable state — lint rule R12 audits submitted closures for
+    escaping mutable state statically, and per-run ambient counters
     (txn ids, version ids, the tracer) are domain-local. Under that
     contract, results are byte-identical to sequential execution for
     any [jobs]: slots are keyed by submission index and merged in

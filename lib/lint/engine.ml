@@ -99,6 +99,7 @@ let rec binds_variable (p : pattern) =
 
 let run_rules ?only ~file source =
   let file = normalize file in
+  let only = Option.map (List.map Rules.canon_id) only in
   let active =
     List.filter
       (fun (r : Rules.rule) ->

@@ -114,6 +114,10 @@ let scan source =
        lines)
 
 (* Does a pragma on [p.line] cover a finding on [line]? Same line
-   (trailing comment) or the line below (standalone comment above). *)
+   (trailing comment) or the line below (standalone comment above).
+   Rule ids are compared after alias resolution, so a waiver written
+   against a retired rule ([allow R11]) still covers the rule that
+   absorbed it (R12). *)
 let covers p ~rule ~line =
-  (line = p.line || line = p.line + 1) && List.mem rule p.rules
+  (line = p.line || line = p.line + 1)
+  && List.mem (Rules.canon_id rule) (List.map Rules.canon_id p.rules)

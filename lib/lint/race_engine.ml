@@ -1,0 +1,997 @@
+(* The race plane: rules R12-R15 over the typedtree, policing the
+   domain-parallel surface (everything run via Pool.submit/map/post or
+   Domain.spawn).
+
+   The analysis is a flow-insensitive, field-sensitive escape check
+   over *abstract locations*:
+
+     - a top-level mutable value is named by its node key
+       ("Checker.Stream.tally");
+     - a local mutable value by its binder (unique per Ident, so
+       shadowing cannot confuse two locations);
+     - a mutable record field by "<record-type>.<field>" — field
+       sensitive, so two fields of one record are distinct locations,
+       and type-based, so the same field reached through two aliases
+       is one location.
+
+   R12 (escape) has two cooperating halves sharing one call graph
+   (the same shape as Typed_engine's R9 graph):
+
+     - the *graph half* — a binding that references a spawn entry
+       point (Rules.spawn_fns) is a spawn node; any top-level mutation
+       in its reachable effect footprint is reported with the BFS call
+       chain as evidence. This is exactly the retired rule R11, and
+       subsumes it: transitive mutation of globals is caught at any
+       call depth.
+     - the *closure half* — each function literal handed to a spawn
+       entry point is walked with an environment of closure-local
+       binders. A mutator or container read applied to a location
+       that is not closure-local (a captured ref/Hashtbl/Buffer/
+       Queue/array, or a mutable field rooted at a captured value) is
+       an escape. Safe sinks: Atomic.* and Domain.DLS.* operations,
+       regions guarded by a held mutex (Mutex.lock...unlock threading
+       through the body, or a Rules.guard_fns wrapper), and array
+       reads/writes indexed by a per-slot index (a binder assigned
+       from Atomic.fetch_and_add — the pool's submission-order merge
+       idiom). Calls from the closure to functions let-bound in the
+       same enclosing binding are inlined one level deep, with the
+       callee's own binders local and everything else captured.
+
+   R13 (mixed discipline) fires anywhere, not just under the pool: a
+   plain write that *replaces* an Atomic.t cell (record field holding
+   an Atomic.t assigned with <-, a ref of Atomic.t assigned with :=,
+   an Atomic.t array slot assigned with Array.set) gives the location
+   two unsynchronised identities — a domain holding the old cell keeps
+   using it after the swap.
+
+   R14 (lock discipline): a node that performs Mutex.lock on a mutex
+   key with no Mutex.unlock of the same key anywhere in its body leaks
+   the lock on every path (Mutex.protect and Fun.protect ~finally are
+   the sanctioned shapes); and a node that acquires a key and can
+   reach — on the call graph, chain reported — another node acquiring
+   the same key is a self-deadlock, because OCaml mutexes are not
+   reentrant. Mutex keys are abstract locations as above, so [t.m]
+   in two functions is the same key via "<type>.m", while two distinct
+   local mutexes never unify.
+
+   R15 (DLS misuse): with the worker-reachable region defined as
+   everything reachable from spawn nodes and from Protocol.S handler
+   entry points (handlers execute on worker domains during parallel
+   sweeps), a Domain.DLS.get/set in a node outside that region is
+   domain-local state that only ever lives on the main domain. The
+   rule is silent when the linted unit set spawns no domains.
+
+   Approximations, by design (see docs/determinism.md): reads of
+   mutable record fields are not escapes (a read-write race is caught
+   at its write side); a closure passed to the pool as a value rather
+   than a literal or a same-binding local function is only covered by
+   the graph half; rebinding a captured location ([let h = tally in])
+   is tracked one step (the alias stays shared) but not through data
+   structures; guard regions are threaded in traversal order, so a
+   lock taken in a branch guards the rest of the enclosing body. *)
+
+type unit_in = {
+  r_prefix : string list;  (* canonical module path components *)
+  r_file : string;  (* repo-relative source path *)
+  r_str : Typedtree.structure;
+  r_pragmas : Pragma.t list;  (* for effect-site waivers *)
+}
+
+(* --- the run-wide accumulator ----------------------------------------- *)
+
+type mut_site = { m_desc : string; m_file : string; m_line : int }
+
+type lock_site = {
+  l_key : string;  (* abstract mutex key *)
+  l_show : string;  (* display name *)
+  l_scoped : bool;  (* acquired via a self-releasing wrapper *)
+  l_loc : Location.t;
+}
+
+type dls_site = { d_fn : string; d_loc : Location.t }
+
+type node = {
+  n_key : string;
+  n_name : string;  (* last component, for entry-point matching *)
+  n_file : string;
+  n_line : int;
+  n_col : int;
+  mutable n_refs : string list;
+  mutable n_muts : mut_site list;  (* reachable-footprint sources *)
+  mutable n_locks : lock_site list;
+  mutable n_unlocks : string list;
+  mutable n_dls : dls_site list;
+}
+
+type acc = {
+  nodes : (string, node) Hashtbl.t;
+  mutable keys : string list;  (* insertion order of node keys *)
+  mutable findings : Engine.finding list;
+  mutable used : (string * int) list;  (* consumed effect-site waivers *)
+  only : string list option;  (* canonicalised rule filter *)
+  mutable loose_dls : (dls_site * string) list;  (* module-init uses *)
+}
+
+let rule_active acc id =
+  match acc.only with None -> true | Some ids -> List.mem id ids
+
+let emit acc ?(chain = []) ~rule ~(loc : Location.t) msg =
+  match Rules.find rule with
+  | None -> ()
+  | Some r ->
+    let file = Paths.norm_fname loc.loc_start.Lexing.pos_fname in
+    if not (List.mem file r.allowed_files) then begin
+      let line, col = Paths.loc_pos loc in
+      let f =
+        { Engine.file; line; col; rule; severity = r.severity; message = msg;
+          chain }
+      in
+      if not (List.mem f acc.findings) then acc.findings <- f :: acc.findings
+    end
+
+(* --- per-unit context -------------------------------------------------- *)
+
+type ctx = {
+  c_file : string;
+  c_paths : (string, string list) Hashtbl.t;
+      (* local module idents (by Ident.unique_name) -> components *)
+  c_values : (string, string) Hashtbl.t;
+      (* unit-toplevel value idents (by Ident.unique_name) -> node key *)
+  c_pragmas : Pragma.t list;
+}
+
+let canon_parts ctx (p : Path.t) =
+  let rec go = function
+    | Path.Pident id -> (
+      match Hashtbl.find_opt ctx.c_paths (Ident.unique_name id) with
+      | Some parts -> parts
+      | None -> Paths.canon_head (Ident.name id))
+    | Path.Pdot (p, s) -> go p @ [ s ]
+    | Path.Papply (a, _) -> go a
+    | Path.Pextra_ty (p, _) -> go p
+  in
+  go p
+
+let canon_path ctx p = String.concat "." (canon_parts ctx p)
+
+(* An effect-site waiver on the line of a shared-mutation effect
+   removes it from the graph half, silencing every chain reaching it
+   (mirrors the R9 machinery; [allow R11] still works via canon_id). *)
+let site_waived acc ctx line =
+  match
+    List.find_opt (fun p -> Pragma.covers p ~rule:"R12" ~line) ctx.c_pragmas
+  with
+  | Some p ->
+    if not (List.mem (ctx.c_file, p.Pragma.line) acc.used) then
+      acc.used <- (ctx.c_file, p.Pragma.line) :: acc.used;
+    true
+  | None -> false
+
+(* --- small typedtree helpers ------------------------------------------- *)
+
+let rec head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | Typedtree.Texp_apply (f, _) -> head_path f
+  | _ -> None
+
+let head_name ctx e =
+  match head_path e with
+  | Some p -> Some (Paths.strip_stdlib (canon_path ctx p))
+  | None -> None
+
+let positional_args args =
+  List.filter_map
+    (function
+      | Asttypes.Nolabel, Some (e : Typedtree.expression) -> Some e
+      | _ -> None)
+    args
+
+let rec is_arrow ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tpoly (t, _) -> is_arrow t
+  | _ -> false
+
+let rec first_param ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | Types.Tpoly (t, _) -> first_param t
+  | _ -> None
+
+let is_atomic_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+    Paths.has_suffix ~suffix:"Atomic.t"
+      (Paths.strip_stdlib (Paths.plain_path p))
+  | _ -> false
+
+(* The record-type component of a field's abstract location, from the
+   field's result type ("Pool.worker" for [w.m] on a worker). *)
+let record_type_name ctx ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Paths.strip_stdlib (canon_path ctx p)
+  | _ -> "<record>"
+
+(* Peel a field chain down to its root: [s.stats.aborts] -> [s]. *)
+let rec field_root (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_field (e', _, _) -> field_root e'
+  | _ -> e
+
+let matches_any ~fns s =
+  List.exists (fun f -> Paths.has_suffix ~suffix:f s) fns
+
+(* --- pass A: declarations ---------------------------------------------- *)
+
+let register_node acc ctx ~prefix id (loc : Location.t) =
+  let name = Ident.name id in
+  let key = String.concat "." (prefix @ [ name ]) in
+  Hashtbl.replace ctx.c_values (Ident.unique_name id) key;
+  if not (Hashtbl.mem acc.nodes key) then begin
+    let line, col = Paths.loc_pos loc in
+    Hashtbl.replace acc.nodes key
+      {
+        n_key = key;
+        n_name = name;
+        n_file = Paths.norm_fname loc.loc_start.Lexing.pos_fname;
+        n_line = line;
+        n_col = col;
+        n_refs = [];
+        n_muts = [];
+        n_locks = [];
+        n_unlocks = [];
+        n_dls = [];
+      };
+    acc.keys <- key :: acc.keys
+  end
+
+let rec register_pattern :
+    type k. acc -> ctx -> prefix:string list -> k Typedtree.general_pattern -> unit
+    =
+ fun acc ctx ~prefix p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> register_node acc ctx ~prefix id p.pat_loc
+  | Typedtree.Tpat_alias (p', id, _) ->
+    register_node acc ctx ~prefix id p.pat_loc;
+    register_pattern acc ctx ~prefix p'
+  | Typedtree.Tpat_tuple ps -> List.iter (register_pattern acc ctx ~prefix) ps
+  | Typedtree.Tpat_construct (_, _, ps, _) ->
+    List.iter (register_pattern acc ctx ~prefix) ps
+  | _ -> ()
+
+let rec declare_items acc ctx ~prefix items =
+  List.iter (declare_item acc ctx ~prefix) items
+
+and declare_item acc ctx ~prefix (item : Typedtree.structure_item) =
+  match item.str_desc with
+  | Typedtree.Tstr_value (_, vbs) ->
+    List.iter
+      (fun (vb : Typedtree.value_binding) ->
+        register_pattern acc ctx ~prefix vb.vb_pat)
+      vbs
+  | Typedtree.Tstr_module mb -> declare_module acc ctx ~prefix mb
+  | Typedtree.Tstr_recmodule mbs -> List.iter (declare_module acc ctx ~prefix) mbs
+  | _ -> ()
+
+and declare_module acc ctx ~prefix (mb : Typedtree.module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some id ->
+    let rec structure_of (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Typedtree.Tmod_structure str -> Some str
+      | Typedtree.Tmod_constraint (me', _, _, _) -> structure_of me'
+      | _ -> None
+    in
+    let rec alias_of (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Typedtree.Tmod_ident (p, _) -> Some (canon_parts ctx p)
+      | Typedtree.Tmod_constraint (me', _, _, _) -> alias_of me'
+      | _ -> None
+    in
+    (match structure_of mb.mb_expr with
+     | Some str ->
+       let prefix' = prefix @ [ Ident.name id ] in
+       Hashtbl.replace ctx.c_paths (Ident.unique_name id) prefix';
+       declare_items acc ctx ~prefix:prefix' str.str_items
+     | None -> (
+       (* [module Store = Mvstore.Store]: references through the alias
+          must resolve to the target's nodes, or the call graph stops
+          at every aliased module boundary. *)
+       match alias_of mb.mb_expr with
+       | Some parts -> Hashtbl.replace ctx.c_paths (Ident.unique_name id) parts
+       | None ->
+         Hashtbl.replace ctx.c_paths (Ident.unique_name id)
+           (prefix @ [ Ident.name id ])))
+
+(* --- mutex keys -------------------------------------------------------- *)
+
+(* Abstract location of a mutex expression. Local mutexes get a "~"
+   key from the binder's unique name: never equal across nodes, so
+   they cannot create false double-acquire matches. *)
+let resolve_mutex ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident ((Path.Pdot _ as p), _, _) ->
+    let s = canon_path ctx p in
+    (s, s)
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+    match Hashtbl.find_opt ctx.c_values (Ident.unique_name id) with
+    | Some key -> (key, key)
+    | None -> ("~" ^ Ident.unique_name id, Ident.name id))
+  | Typedtree.Texp_field (e', _, lbl) ->
+    let key = record_type_name ctx e'.exp_type ^ "." ^ lbl.Types.lbl_name in
+    (key, key)
+  | _ -> ("~unresolved", "<mutex>")
+
+(* "Pool.worker.m" and "Harness.Pool.worker.m" are the same key seen
+   from inside and outside the defining unit. *)
+let key_match a b =
+  a = b || Paths.has_suffix ~suffix:a b || Paths.has_suffix ~suffix:b a
+
+(* --- the closure half of R12 ------------------------------------------- *)
+
+type cenv = {
+  e_locals : (string, unit) Hashtbl.t;
+      (* binders (Ident.unique_name) bound inside the closure *)
+  e_aliased : (string, unit) Hashtbl.t;
+      (* binders whose right-hand side was a captured/global location:
+         still shared, despite being bound inside *)
+  e_slots : (string, unit) Hashtbl.t;
+      (* binders assigned from Rules.slot_index_sources *)
+  mutable e_guard : int;  (* > 0 inside a mutex-guarded region *)
+}
+
+(* What does an identifier inside the closure name? *)
+type residence =
+  | Local  (* bound inside the closure: job-private *)
+  | Global of string  (* unit-toplevel value: the graph half's turf *)
+  | Captured of string  (* a binder of an enclosing function: shared *)
+
+let residence ctx env (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+    let u = Ident.unique_name id in
+    if Hashtbl.mem env.e_locals u && not (Hashtbl.mem env.e_aliased u) then
+      Some Local
+    else (
+      match Hashtbl.find_opt ctx.c_values u with
+      | Some key -> Some (Global key)
+      | None -> Some (Captured (Ident.name id)))
+  | Typedtree.Texp_ident ((Path.Pdot _ as p), _, _) ->
+    Some (Global (canon_path ctx p))
+  | _ -> None
+
+let slot_indexed env args =
+  match positional_args args with
+  | _ :: { Typedtree.exp_desc = Typedtree.Texp_ident (Path.Pident id, _, _); _ }
+    :: _ ->
+    Hashtbl.mem env.e_slots (Ident.unique_name id)
+  | _ -> false
+
+let slot_fns =
+  [ "Array.set"; "Array.unsafe_set"; "Array.get"; "Array.unsafe_get" ]
+
+let escape_hint =
+  "route it through Atomic or Domain.DLS, guard it with a mutex, or write \
+   per-slot at the job's own index"
+
+(* Walk the body of a closure handed to a spawn entry point.
+   [local_fns] maps binders of the enclosing binding to their
+   function bodies for one-level inlining; [visited] stops inlining
+   cycles. The iterator's own traversal order threads the guard
+   state: a Mutex.lock seen earlier in a sequence guards the rest. *)
+let rec closure_walk acc ctx ~local_fns ~visited env (expr : Typedtree.expression)
+    =
+  let flag_access ~loc what target =
+    if env.e_guard = 0 && rule_active acc "R12" then
+      emit acc ~rule:"R12" ~loc
+        (Printf.sprintf
+           "%s on %s, which is shared with the submitting domain: %s" what
+           target escape_hint)
+  in
+  let vb_hook sub (vb : Typedtree.value_binding) =
+    (* Classify the binder before the default traversal registers it
+       as closure-local via the pattern hook below. *)
+    let binders =
+      let out = ref [] in
+      let rec go : type k. k Typedtree.general_pattern -> unit =
+       fun p ->
+        match p.Typedtree.pat_desc with
+        | Typedtree.Tpat_var (id, _) -> out := Ident.unique_name id :: !out
+        | Typedtree.Tpat_alias (p', id, _) ->
+          out := Ident.unique_name id :: !out;
+          go p'
+        | Typedtree.Tpat_tuple ps -> List.iter go ps
+        | Typedtree.Tpat_construct (_, _, ps, _) -> List.iter go ps
+        | _ -> ()
+      in
+      go vb.vb_pat;
+      !out
+    in
+    (match head_name ctx vb.vb_expr with
+     | Some s when matches_any ~fns:Rules.slot_index_sources s ->
+       List.iter (fun u -> Hashtbl.replace env.e_slots u ()) binders
+     | _ -> ());
+    (match residence ctx env vb.vb_expr with
+     | Some (Global _) | Some (Captured _) ->
+       (* [let h = tally in ...]: h is an alias of shared state. *)
+       List.iter (fun u -> Hashtbl.replace env.e_aliased u ()) binders
+     | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let pat_hook : type k. Tast_iterator.iterator -> k Typedtree.general_pattern -> unit
+      =
+   fun sub p ->
+    (match p.Typedtree.pat_desc with
+     | Typedtree.Tpat_var (id, _) ->
+       Hashtbl.replace env.e_locals (Ident.unique_name id) ()
+     | Typedtree.Tpat_alias (_, id, _) ->
+       Hashtbl.replace env.e_locals (Ident.unique_name id) ()
+     | _ -> ());
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let expr_hook sub (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_apply (f, args) -> (
+      let s = match head_name ctx f with Some s -> s | None -> "" in
+      if matches_any ~fns:Rules.guard_fns s then begin
+        (* the wrapper's argument runs with the lock held / cleanup
+           guaranteed *)
+        env.e_guard <- env.e_guard + 1;
+        Tast_iterator.default_iterator.expr sub e;
+        env.e_guard <- env.e_guard - 1
+      end
+      else begin
+        if Paths.has_suffix ~suffix:"Mutex.lock" s then
+          env.e_guard <- env.e_guard + 1
+        else if Paths.has_suffix ~suffix:"Mutex.unlock" s then
+          env.e_guard <- max 0 (env.e_guard - 1);
+        (* one-level inlining of same-binding local functions *)
+        (match f.Typedtree.exp_desc with
+         | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+           let u = Ident.unique_name id in
+           match Hashtbl.find_opt local_fns u with
+           | Some body when not (Hashtbl.mem visited u) ->
+             Hashtbl.replace visited u ();
+             let env' =
+               {
+                 e_locals = Hashtbl.create 16;
+                 e_aliased = Hashtbl.create 4;
+                 e_slots = Hashtbl.create 4;
+                 e_guard = env.e_guard;
+               }
+             in
+             closure_walk acc ctx ~local_fns ~visited env' body
+           | _ -> ())
+         | _ -> ());
+        (if Paths.has_prefix ~prefix:"Atomic" s
+            || Paths.has_prefix ~prefix:"Domain.DLS" s
+         then () (* safe sinks: synchronised by construction *)
+         else if List.mem s slot_fns && slot_indexed env args then
+           () (* per-slot access at the job's own index *)
+         else if
+           List.mem s Rules.mutator_fns || List.mem s Rules.container_read_fns
+         then
+           match positional_args args with
+           | tgt :: _ -> (
+             match residence ctx env (field_root tgt) with
+             | Some (Captured name) ->
+               let what =
+                 match tgt.Typedtree.exp_desc with
+                 | Typedtree.Texp_field (e', _, lbl) ->
+                   Printf.sprintf "%s via field %s.%s" s
+                     (record_type_name ctx e'.exp_type)
+                     lbl.Types.lbl_name
+                 | _ -> s
+               in
+               flag_access ~loc:e.Typedtree.exp_loc what ("captured " ^ name)
+             | Some Local | Some (Global _) | None ->
+               (* globals are the graph half's findings; unresolvable
+                  targets (call results, DLS.get payloads) are not
+                  abstract locations we can name *)
+               ())
+           | [] -> ());
+        Tast_iterator.default_iterator.expr sub e
+      end)
+    | Typedtree.Texp_setfield (tgt, _, lbl, _) ->
+      (match residence ctx env (field_root tgt) with
+       | Some (Captured name) ->
+         flag_access ~loc:e.exp_loc
+           (Printf.sprintf "field write %s.%s"
+              (record_type_name ctx tgt.exp_type)
+              lbl.Types.lbl_name)
+           ("captured " ^ name)
+       | _ -> ());
+      Tast_iterator.default_iterator.expr sub e
+    | Typedtree.Texp_ifthenelse (c, t, e_opt) ->
+      (* Guard state is per-branch: an unlock in the then-branch must
+         not strip the guard from the else-branch (the worker-loop
+         idiom unlocks in one branch and pops-then-unlocks in the
+         other). *)
+      sub.Tast_iterator.expr sub c;
+      let saved = env.e_guard in
+      sub.Tast_iterator.expr sub t;
+      env.e_guard <- saved;
+      Option.iter (sub.Tast_iterator.expr sub) e_opt;
+      env.e_guard <- saved
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr = expr_hook;
+      pat = pat_hook;
+      value_binding = vb_hook;
+    }
+  in
+  iter.expr iter expr
+
+(* --- pass B: uses, effects, edges -------------------------------------- *)
+
+(* Let-bound functions of one top-level binding, for inlining. Only
+   syntactic function literals qualify: [let f = Queue.pop q] also has
+   arrow type, but its RHS runs at bind time (possibly under a lock),
+   so re-walking it at the call site would misplace the effect. *)
+let collect_local_fns (expr : Typedtree.expression) =
+  let is_fun (e : Typedtree.expression) =
+    match e.exp_desc with Typedtree.Texp_function _ -> true | _ -> false
+  in
+  let fns = Hashtbl.create 8 in
+  let vb_hook sub (vb : Typedtree.value_binding) =
+    (match (vb.vb_pat.pat_desc, is_fun vb.vb_expr) with
+     | Typedtree.Tpat_var (id, _), true ->
+       Hashtbl.replace fns (Ident.unique_name id) vb.vb_expr
+     | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let iter = { Tast_iterator.default_iterator with value_binding = vb_hook } in
+  iter.expr iter expr;
+  fns
+
+let global_ident ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident ((Path.Pdot _ as p), _, _) -> Some (canon_path ctx p)
+  | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+    Hashtbl.find_opt ctx.c_values (Ident.unique_name id)
+  | _ -> None
+
+let add_mut acc ctx (node : node option) desc (loc : Location.t) =
+  match node with
+  | None -> ()
+  | Some n ->
+    let file = Paths.norm_fname loc.loc_start.Lexing.pos_fname in
+    if not (List.mem file (Rules.effect_allowed_files `Mutation)) then begin
+      let line, _ = Paths.loc_pos loc in
+      if not (site_waived acc ctx line) then
+        n.n_muts <- { m_desc = desc; m_file = file; m_line = line } :: n.n_muts
+    end
+
+(* Walk one top-level binding's body (or loose module-init code),
+   attributing edges, shared-mutation effects, lock/unlock and DLS
+   sites to [node]; fire the site-local R13 checks; run the closure
+   half on every function literal handed to a spawn entry point. *)
+let scan_node acc ctx node expr =
+  let add_ref key =
+    match node with
+    | Some n -> if not (List.mem key n.n_refs) then n.n_refs <- key :: n.n_refs
+    | None -> ()
+  in
+  let local_fns = collect_local_fns expr in
+  let spawn_closure (a : Typedtree.expression) =
+    let walk body =
+      let env =
+        {
+          e_locals = Hashtbl.create 32;
+          e_aliased = Hashtbl.create 4;
+          e_slots = Hashtbl.create 4;
+          e_guard = 0;
+        }
+      in
+      closure_walk acc ctx ~local_fns ~visited:(Hashtbl.create 8) env body
+    in
+    match a.exp_desc with
+    | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+      match Hashtbl.find_opt local_fns (Ident.unique_name id) with
+      | Some body -> walk body
+      | None -> ())
+    | _ -> if is_arrow a.exp_type then walk a
+  in
+  let expr_hook sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+     | Typedtree.Texp_ident (p, _, _) -> (
+       let s = Paths.strip_stdlib (canon_path ctx p) in
+       (match node with
+        | Some n when matches_any ~fns:Rules.dls_fns s ->
+          n.n_dls <- { d_fn = s; d_loc = e.exp_loc } :: n.n_dls
+        | None when matches_any ~fns:Rules.dls_fns s ->
+          acc.loose_dls <- ({ d_fn = s; d_loc = e.exp_loc }, ctx.c_file)
+          :: acc.loose_dls
+        | _ -> ());
+       match p with
+       | Path.Pdot _ -> add_ref (canon_path ctx p)
+       | Path.Pident id -> (
+         match Hashtbl.find_opt ctx.c_values (Ident.unique_name id) with
+         | Some key -> add_ref key
+         | None -> ())
+       | _ -> ())
+     | Typedtree.Texp_apply (f, args) -> (
+       let s = match head_name ctx f with Some s -> s | None -> "" in
+       (* shared-mutation effects (the graph half's sources) *)
+       (if List.mem s Rules.mutator_fns then
+          match positional_args args with
+          | tgt :: _ -> (
+            match global_ident ctx tgt with
+            | Some g ->
+              add_mut acc ctx node
+                (Printf.sprintf "%s on global %s" s g)
+                e.exp_loc
+            | None -> ())
+          | [] -> ());
+       (* lock/unlock collection (R14) *)
+       (match node with
+        | Some n ->
+          let mutex_arg () =
+            match positional_args args with m :: _ -> Some m | [] -> None
+          in
+          if Paths.has_suffix ~suffix:"Mutex.lock" s then (
+            match mutex_arg () with
+            | Some m ->
+              let l_key, l_show = resolve_mutex ctx m in
+              n.n_locks <-
+                { l_key; l_show; l_scoped = false; l_loc = e.exp_loc }
+                :: n.n_locks
+            | None -> ())
+          else if Paths.has_suffix ~suffix:"Mutex.unlock" s then (
+            match mutex_arg () with
+            | Some m ->
+              let k, _ = resolve_mutex ctx m in
+              n.n_unlocks <- k :: n.n_unlocks
+            | None -> ())
+          else if Paths.has_suffix ~suffix:"Mutex.protect" s then (
+            match mutex_arg () with
+            | Some m ->
+              let l_key, l_show = resolve_mutex ctx m in
+              n.n_locks <-
+                { l_key; l_show; l_scoped = true; l_loc = e.exp_loc }
+                :: n.n_locks
+            | None -> ())
+        | None -> ());
+       (* R13: a plain write that replaces an Atomic.t cell *)
+       (if
+          rule_active acc "R13"
+          && (s = ":=" || matches_any ~fns:[ "Array.set"; "Array.unsafe_set";
+                                             "Array.fill" ] s)
+        then
+          match first_param f.Typedtree.exp_type with
+          | Some ty -> (
+            match Types.get_desc ty with
+            | Types.Tconstr (_, [ elt ], _) when is_atomic_ty elt ->
+              emit acc ~rule:"R13" ~loc:e.exp_loc
+                (Printf.sprintf
+                   "%s replaces an Atomic.t cell: a domain holding the old \
+                    cell keeps using it; mutate via Atomic.set/exchange on \
+                    the existing cell" s)
+            | _ -> ())
+          | None -> ());
+       (* the closure half: function literals handed to a spawn point *)
+       if rule_active acc "R12" && matches_any ~fns:Rules.spawn_fns s then
+         List.iter spawn_closure (positional_args args))
+     | Typedtree.Texp_setfield (tgt, _, lbl, _) ->
+       (match global_ident ctx tgt with
+        | Some g ->
+          add_mut acc ctx node ("field assignment on global " ^ g) e.exp_loc
+        | None -> ());
+       if rule_active acc "R13" && is_atomic_ty lbl.Types.lbl_arg then
+         emit acc ~rule:"R13" ~loc:e.exp_loc
+           (Printf.sprintf
+              "field write replaces Atomic.t cell %s.%s: a domain holding \
+               the old cell keeps using it; mutate via Atomic.set/exchange \
+               on the existing cell"
+              (record_type_name ctx tgt.exp_type)
+              lbl.Types.lbl_name)
+     | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr = expr_hook } in
+  iter.expr iter expr
+
+let rec analyze_items acc ctx ~prefix items =
+  List.iter (analyze_item acc ctx ~prefix) items
+
+and analyze_item acc ctx ~prefix (item : Typedtree.structure_item) =
+  match item.str_desc with
+  | Typedtree.Tstr_value (_, vbs) ->
+    List.iter
+      (fun (vb : Typedtree.value_binding) ->
+        let node =
+          let bound : type k. k Typedtree.general_pattern -> string option =
+           fun p ->
+            match p.Typedtree.pat_desc with
+            | Typedtree.Tpat_var (id, _) ->
+              Hashtbl.find_opt ctx.c_values (Ident.unique_name id)
+            | Typedtree.Tpat_alias (_, id, _) ->
+              Hashtbl.find_opt ctx.c_values (Ident.unique_name id)
+            | _ -> None
+          in
+          match bound vb.vb_pat with
+          | Some key -> Hashtbl.find_opt acc.nodes key
+          | None -> None
+        in
+        scan_node acc ctx node vb.vb_expr)
+      vbs
+  | Typedtree.Tstr_eval (e, _) -> scan_node acc ctx None e
+  | Typedtree.Tstr_module mb -> analyze_module acc ctx ~prefix mb
+  | Typedtree.Tstr_recmodule mbs ->
+    List.iter (analyze_module acc ctx ~prefix) mbs
+  | _ -> ()
+
+and analyze_module acc ctx ~prefix (mb : Typedtree.module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some id ->
+    let prefix' = prefix @ [ Ident.name id ] in
+    let rec structure_of (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Typedtree.Tmod_structure str -> Some str
+      | Typedtree.Tmod_constraint (me', _, _, _) -> structure_of me'
+      | _ -> None
+    in
+    (match structure_of mb.mb_expr with
+     | Some str -> analyze_items acc ctx ~prefix:prefix' str.str_items
+     | None -> ())
+
+(* --- graphs ------------------------------------------------------------ *)
+
+let is_spawn_node (n : node) =
+  List.exists (fun r -> matches_any ~fns:Rules.spawn_fns r) n.n_refs
+
+let is_entry (n : node) =
+  List.mem n.n_name Rules.entry_points
+  && List.exists
+       (fun root ->
+         String.length n.n_file >= String.length root
+         && String.sub n.n_file 0 (String.length root) = root)
+       Rules.entry_roots
+
+(* Deterministic BFS from [start] (refs sorted); [parent] gives the
+   chain to any reached node. *)
+let bfs acc (start : node) =
+  let parent = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen start.n_key ();
+  let order = ref [ start.n_key ] in
+  let q = Queue.create () in
+  Queue.add start.n_key q;
+  while not (Queue.is_empty q) do
+    let key = Queue.pop q in
+    match Hashtbl.find_opt acc.nodes key with
+    | None -> ()
+    | Some n ->
+      List.iter
+        (fun r ->
+          if Hashtbl.mem acc.nodes r && not (Hashtbl.mem seen r) then begin
+            Hashtbl.replace seen r ();
+            Hashtbl.replace parent r key;
+            order := r :: !order;
+            Queue.add r q
+          end)
+        (List.sort String.compare n.n_refs)
+  done;
+  let chain_to key =
+    let rec up key chain =
+      match Hashtbl.find_opt parent key with
+      | Some p -> up p (key :: chain)
+      | None -> key :: chain
+    in
+    up key []
+  in
+  (List.rev !order, chain_to)
+
+(* A synthetic location at a node's definition site. *)
+let node_loc (n : node) =
+  let pos =
+    { Lexing.pos_fname = n.n_file; pos_lnum = n.n_line; pos_bol = 0;
+      pos_cnum = n.n_col }
+  in
+  { Location.loc_ghost = false; loc_start = pos; loc_end = pos }
+
+(* --- R12, graph half --------------------------------------------------- *)
+
+let report_r12_graph acc =
+  if rule_active acc "R12" then
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt acc.nodes key with
+        | Some n when is_spawn_node n ->
+          let reach, chain_to = bfs acc n in
+          let hit =
+            List.find_map
+              (fun k ->
+                match Hashtbl.find_opt acc.nodes k with
+                | Some m -> (
+                  match
+                    List.sort
+                      (fun a b ->
+                        let c = Int.compare a.m_line b.m_line in
+                        if c <> 0 then c else String.compare a.m_desc b.m_desc)
+                      m.n_muts
+                  with
+                  | mut :: _ -> Some (k, mut)
+                  | [] -> None)
+                | None -> None)
+              reach
+          in
+          (match hit with
+           | Some (k, mut) ->
+             let chain =
+               chain_to k
+               @ [ Printf.sprintf "%s (%s:%d)" mut.m_desc mut.m_file mut.m_line ]
+             in
+             emit acc ~chain ~rule:"R12" ~loc:(node_loc n)
+               (Printf.sprintf
+                  "%s hands work to the domain pool but can reach shared \
+                   mutable state: %s"
+                  n.n_key mut.m_desc)
+           | None -> ())
+        | _ -> ())
+      (List.sort String.compare acc.keys)
+
+(* --- R14 --------------------------------------------------------------- *)
+
+let report_r14 acc =
+  if rule_active acc "R14" then
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt acc.nodes key with
+        | None -> ()
+        | Some n ->
+          let locks =
+            List.sort
+              (fun a b ->
+                let la, _ = Paths.loc_pos a.l_loc
+                and lb, _ = Paths.loc_pos b.l_loc in
+                Int.compare la lb)
+              n.n_locks
+          in
+          (* leak: an unscoped acquire with no release anywhere in the
+             same body *)
+          List.iter
+            (fun l ->
+              if
+                (not l.l_scoped)
+                && not (List.exists (fun u -> key_match u l.l_key) n.n_unlocks)
+              then
+                emit acc ~rule:"R14" ~loc:l.l_loc
+                  (Printf.sprintf
+                     "Mutex.lock on %s is never released in %s; wrap the \
+                      critical section in Mutex.protect or release it in \
+                      Fun.protect ~finally"
+                     l.l_show n.n_key))
+            locks;
+          (* double-acquire through the call graph *)
+          let reported = Hashtbl.create 4 in
+          List.iter
+            (fun l ->
+              if not (Hashtbl.mem reported l.l_key) then begin
+                let reach, chain_to = bfs acc n in
+                match
+                  List.find_map
+                    (fun k ->
+                      if k = n.n_key then None
+                      else
+                        match Hashtbl.find_opt acc.nodes k with
+                        | Some m -> (
+                          match
+                            List.find_opt
+                              (fun l' -> key_match l.l_key l'.l_key)
+                              m.n_locks
+                          with
+                          | Some l' -> Some (k, l')
+                          | None -> None)
+                        | None -> None)
+                    reach
+                with
+                | Some (k, l') ->
+                  Hashtbl.replace reported l.l_key ();
+                  let file = Paths.norm_fname l'.l_loc.loc_start.pos_fname in
+                  let line, _ = Paths.loc_pos l'.l_loc in
+                  let chain =
+                    chain_to k
+                    @ [ Printf.sprintf "Mutex.lock %s (%s:%d)" l'.l_show file
+                          line ]
+                  in
+                  emit acc ~chain ~rule:"R14" ~loc:l.l_loc
+                    (Printf.sprintf
+                       "%s acquires %s and can reach %s, which acquires it \
+                        again — OCaml mutexes are not reentrant \
+                        (self-deadlock)"
+                       n.n_key l.l_show k)
+                | None -> ()
+              end)
+            locks)
+      (List.sort String.compare acc.keys)
+
+(* --- R15 --------------------------------------------------------------- *)
+
+let report_r15 acc =
+  let spawns =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt acc.nodes k with
+        | Some n when is_spawn_node n -> Some n
+        | _ -> None)
+      acc.keys
+  in
+  if rule_active acc "R15" && spawns <> [] then begin
+    let reachable = Hashtbl.create 256 in
+    let roots =
+      spawns
+      @ List.filter_map
+          (fun k ->
+            match Hashtbl.find_opt acc.nodes k with
+            | Some n when is_entry n -> Some n
+            | _ -> None)
+          acc.keys
+    in
+    List.iter
+      (fun root ->
+        let reach, _ = bfs acc root in
+        List.iter (fun k -> Hashtbl.replace reachable k ()) reach)
+      roots;
+    let flag_site (d : dls_site) where =
+      emit acc ~rule:"R15" ~loc:d.d_loc
+        (Printf.sprintf
+           "%s in %s, which the domain pool never reaches: this \
+            domain-local state only ever lives on the main domain — move \
+            the access under the pool, or drop DLS for an explicit value"
+           d.d_fn where)
+    in
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt acc.nodes key with
+        | Some n when (not (Hashtbl.mem reachable n.n_key)) && n.n_dls <> []
+          ->
+          List.iter (fun d -> flag_site d n.n_key) n.n_dls
+        | _ -> ())
+      (List.sort String.compare acc.keys);
+    List.iter
+      (fun (d, file) -> flag_site d ("module initialisation of " ^ file))
+      acc.loose_dls
+  end
+
+(* --- driver ------------------------------------------------------------ *)
+
+let lint_units ?only units =
+  let acc =
+    {
+      nodes = Hashtbl.create 256;
+      keys = [];
+      findings = [];
+      used = [];
+      only = Option.map (List.map Rules.canon_id) only;
+      loose_dls = [];
+    }
+  in
+  let ctxs =
+    List.map
+      (fun u ->
+        let ctx =
+          {
+            c_file = u.r_file;
+            c_paths = Hashtbl.create 32;
+            c_values = Hashtbl.create 64;
+            c_pragmas = u.r_pragmas;
+          }
+        in
+        declare_items acc ctx ~prefix:u.r_prefix u.r_str.str_items;
+        (u, ctx))
+      units
+  in
+  List.iter
+    (fun (u, ctx) -> analyze_items acc ctx ~prefix:u.r_prefix u.r_str.str_items)
+    ctxs;
+  report_r12_graph acc;
+  report_r14 acc;
+  report_r15 acc;
+  (List.sort Engine.compare_findings acc.findings, acc.used)

@@ -52,7 +52,15 @@ let json_finding (f : Engine.finding) =
     (json_escape f.Engine.message)
     chain
 
+(* The JSON schema version. Bump on any breaking change to the output
+   shape (field renames/removals, meaning changes); downstream tooling
+   keys on it. History: 1 = initial {"findings","errors"}; 2 = added
+   the "version" field itself (chain-carrying rules now include the
+   race plane). test/test_lint.ml pins the format. *)
+let schema_version = 2
+
 let print_json ppf findings =
-  Format.fprintf ppf "{\"findings\":[%s],\"errors\":%d}@."
+  Format.fprintf ppf "{\"version\":%d,\"findings\":[%s],\"errors\":%d}@."
+    schema_version
     (String.concat "," (List.map json_finding findings))
     (List.length (Engine.errors findings))

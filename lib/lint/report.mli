@@ -1,10 +1,15 @@
 (* Finding reporters: a human [file:line:col: [rule/severity] message]
-   form (R9 findings get a "call chain:" continuation line) and a JSON
-   form ({"findings":[...],"errors":n}; R9 findings carry a "chain"
-   array). *)
+   form (chain-carrying findings — R9, R12, R14 — get a "call chain:"
+   continuation line) and a JSON form
+   ({"version":n,"findings":[...],"errors":n}; chain-carrying findings
+   include a "chain" array). *)
 
 val human : Format.formatter -> Engine.finding -> unit
 val print_human : Format.formatter -> Engine.finding list -> unit
+
+(* Bumped on any breaking change to the JSON shape; emitted as the
+   top-level "version" field and pinned by a golden test. *)
+val schema_version : int
 
 val json_finding : Engine.finding -> string
 val print_json : Format.formatter -> Engine.finding list -> unit

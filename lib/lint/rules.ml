@@ -32,28 +32,49 @@
          Protocol.S handler entry point to an ambient effect
          (randomness, wall clock, I/O, top-level mutation);
      R10 protocol [msg] constructor liveness: a constructor never
-         built or never matched is a dead protocol message;
-     R11 parallel-sweep isolation: a binding that hands closures to
-         the domain pool (Harness.Pool.submit/map) must not be able to
-         reach top-level mutable state — shared state would make the
-         parallel schedule observable and break the guarantee that
-         results are identical for any --jobs.
+         built or never matched is a dead protocol message.
+
+   The race plane R12-R15 (Race_engine, also .cmt-based) polices the
+   domain-parallel surface — everything that runs under Pool.submit/
+   Pool.map/Pool.post or Domain.spawn:
+
+     R12 field-sensitive mutable-state escape: a mutable location
+         (ref, mutable record field, array, Hashtbl/Buffer/Queue
+         value) that escapes into a closure handed to the domain pool,
+         with Atomic.t, mutex-guarded regions, Domain.DLS and
+         per-slot writes at the submitting index recognised as safe.
+         Generalises (and absorbs) the retired rule R11, which only
+         saw *toplevel* mutable state through the call graph;
+     R13 mixed discipline: an abstract location holding an Atomic.t
+         that is also re-assigned by a plain write — readers may keep
+         operating on the replaced cell;
+     R14 lock discipline: Mutex.lock with no release on every path
+         (use Mutex.protect / Fun.protect ~finally), and a lock
+         re-acquired through the call graph (OCaml mutexes are not
+         reentrant: self-deadlock);
+     R15 DLS misuse: Domain.DLS state touched from code the domain
+         pool can never reach — the "domain-local" value degenerates
+         to a plain global of the main domain.
 
    A rule names either forbidden identifier prefixes or exact forbidden
    identifiers, selects one of two structural checks (top-level
    mutable state, wildcard exception handlers), or selects one of the
    typed checks. [allowed_files] lists repo-relative paths exempt from
    the rule; everything else needs a per-site waiver pragma carrying a
-   reason (see Pragma). *)
+   reason (see Pragma). [rationale] and [example] feed the CLI's
+   [--explain Rn]. *)
 
 type severity = Error | Warn
 
 type typed_check =
   | Poly_compare  (* R7 *)
-  | Float_time    (* R8 *)
+  | Float_time  (* R8 *)
   | Handler_effects  (* R9 *)
   | Msg_liveness  (* R10 *)
-  | Pool_captures  (* R11 *)
+  | Race_escape  (* R12 *)
+  | Atomic_mixed  (* R13 *)
+  | Lock_discipline  (* R14 *)
+  | Dls_misuse  (* R15 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -66,12 +87,14 @@ type matcher =
   | Wildcard_try  (* [try ... with _ ->] / [match ... with exception _ ->] *)
   | Typed of typed_check
       (* semantic check over the typedtree; ignored by the parsetree
-         engine, dispatched by Typed_engine *)
+         engine, dispatched by Typed_engine / Race_engine *)
 
 type rule = {
   id : string;
   severity : severity;
   summary : string;
+  rationale : string;  (* --explain: why the construct is forbidden *)
+  example : string;  (* --explain: a minimal firing snippet *)
   matcher : matcher;
   allowed_files : string list;
 }
@@ -84,6 +107,11 @@ let all : rule list =
       id = "R1";
       severity = Error;
       summary = "Random.* outside Sim.Rng breaks split-stream reproducibility";
+      rationale =
+        "All randomness must flow from the run's seed through Sim.Rng's \
+         splittable streams; a direct Random call draws from ambient global \
+         state and perturbs every other consumer.";
+      example = "let jitter () = Random.int 10";
       matcher = Forbid_prefixes [ "Random"; "Stdlib.Random" ];
       allowed_files = [ "lib/sim/rng.ml" ];
     };
@@ -91,6 +119,11 @@ let all : rule list =
       id = "R2";
       severity = Error;
       summary = "wall-clock / ambient nondeterminism; simulated time only";
+      rationale =
+        "Wall-clock reads and self-seeding are nondeterminism by definition; \
+         simulated time comes from Sim.Engine.now, per-node skewed clocks \
+         from Sim.Clock.";
+      example = "let stamp () = Unix.gettimeofday ()";
       matcher =
         Forbid_idents
           [
@@ -110,6 +143,13 @@ let all : rule list =
       summary =
         "unordered Hashtbl traversal depends on the hash function; use \
          Kernel.Detmap";
+      rationale =
+        "Hashtbl.iter/fold/to_seq visit buckets in hash order, so anything a \
+         traversal feeds — results, digests, message emission — inherits a \
+         dependence on the hash function and insertion history. \
+         Kernel.Detmap snapshots and sorts by key; point operations \
+         (find_opt, replace, mem) are fine.";
+      example = "let sum t = Hashtbl.fold (fun _ v a -> v + a) t 0";
       matcher =
         Forbid_idents
           [
@@ -130,6 +170,10 @@ let all : rule list =
       id = "R4";
       severity = Error;
       summary = "Obj.* defeats the type system and every invariant above";
+      rationale =
+        "Unchecked casts defeat the type system, and with it every property \
+         the other rules protect.";
+      example = "let cast (x : int) : float = Obj.magic x";
       matcher = Forbid_prefixes [ "Obj"; "Stdlib.Obj" ];
       allowed_files = [];
     };
@@ -139,6 +183,11 @@ let all : rule list =
       summary =
         "top-level mutable state survives across runs; thread state through \
          values or reset it explicitly";
+      rationale =
+        "Module globals survive across runs in one process and break \
+         run-to-run isolation unless explicitly reset. Thread state through \
+         values, or carry an audited reset-on-run waiver.";
+      example = "let counter = ref 0";
       matcher = Toplevel_mutable;
       allowed_files = [ "lib/sim/trace.ml" ];
     };
@@ -146,6 +195,10 @@ let all : rule list =
       id = "R6";
       severity = Error;
       summary = "[with _ ->] swallows exceptions and hides divergence";
+      rationale =
+        "A swallowed exception turns a deterministic crash into a silent \
+         divergence between two runs. Name the exception you mean to catch.";
+      example = "let safe f = try f () with _ -> 0";
       matcher = Wildcard_try;
       allowed_files = [];
     };
@@ -155,6 +208,13 @@ let all : rule list =
       summary =
         "polymorphic equality/compare/hash at a type that needs its own \
          comparator";
+      rationale =
+        "Structural equality on an owned type bypasses its intended \
+         semantics (Ts.compare breaks ties by client id on purpose); on \
+         floats it hides NaN and precision traps; on closures it raises; on \
+         a Hashtbl.t it depends on bucket layout. Use the type's own \
+         comparator (Ts.equal, Int.equal, ...).";
+      example = "let eq (a : Ts.t) (b : Ts.t) = a = b";
       matcher = Typed Poly_compare;
       allowed_files = [];
     };
@@ -164,6 +224,12 @@ let all : rule list =
       summary =
         "float comparison on simulated time; use a tolerance or the integer \
          Clock.read_ns path";
+      rationale =
+        "Exact float equality is almost never what a simulation means, and \
+         ordering an unquantized time read invites accumulation-order \
+         sensitivity at the exact boundary. Compare integer nanoseconds, or \
+         an explicitly-toleranced difference.";
+      example = "let expired deadline = Engine.now () >= deadline";
       matcher = Typed Float_time;
       allowed_files = [];
     };
@@ -171,6 +237,13 @@ let all : rule list =
       id = "R9";
       severity = Error;
       summary = "protocol handler can reach an ambient effect";
+      rationale =
+        "R1/R2/R5 catch an effect at its site; R9 catches a clean-looking \
+         handler that merely calls something effectful three modules away. \
+         The finding carries the full call chain as evidence; waivers go at \
+         the effect site, silencing every chain that reaches it.";
+      example =
+        "let jitter () = Random.int 10\nlet submit t = t + jitter ()";
       matcher = Typed Handler_effects;
       allowed_files = [];
     };
@@ -178,23 +251,104 @@ let all : rule list =
       id = "R10";
       severity = Error;
       summary = "dead protocol message constructor";
+      rationale =
+        "A protocol message nobody sends (or nobody handles) is either dead \
+         wire format or a missing handler arm — both are bugs in a \
+         reproduction whose point is the message flow.";
+      example = "type msg = Ping | Dead  (* Dead never built nor matched *)";
       matcher = Typed Msg_liveness;
       allowed_files = [];
     };
     {
-      id = "R11";
+      id = "R12";
       severity = Error;
       summary =
-        "work submitted to the domain pool can reach top-level mutable \
-         state; jobs must be self-contained";
-      matcher = Typed Pool_captures;
-      allowed_files = [ "lib/harness/pool.ml" ];
+        "mutable state escapes into a domain-pool closure; use Atomic, DLS, \
+         a mutex, or per-slot writes";
+      rationale =
+        "A closure handed to Pool.submit/map/post or Domain.spawn runs on \
+         another domain; any mutable location it shares with the submitter \
+         or a sibling — a captured ref, a mutable record field, an array, a \
+         Hashtbl/Buffer/Queue — is an unsynchronised data race that can \
+         make the parallel schedule observable and break the --jobs \
+         invariance. Safe sinks: Atomic.t operations, regions guarded by \
+         Mutex.protect/lock...unlock, Domain.DLS-routed state, and per-slot \
+         array writes at the job's own index. Generalises retired rule R11, \
+         which only saw toplevel mutable state through the call graph.";
+      example =
+        "let sweep xs =\n\
+        \  let tally = Hashtbl.create 16 in\n\
+        \  Pool.map ~jobs:4 (fun x -> Hashtbl.replace tally x x) xs";
+      matcher = Typed Race_escape;
+      allowed_files = [];
+    };
+    {
+      id = "R13";
+      severity = Error;
+      summary =
+        "Atomic.t cell replaced by a plain write; mutate through the cell \
+         instead";
+      rationale =
+        "An Atomic.t reached by both Atomic operations and a plain \
+         re-assignment (field <- Atomic.make ..., ref := Atomic.make ...) \
+         has two unsynchronised identities: a domain holding the old cell \
+         keeps reading and writing it after the replacement. Mutate through \
+         Atomic.set/exchange on the existing cell.";
+      example =
+        "type s = { mutable c : int Atomic.t }\n\
+         let reset s = s.c <- Atomic.make 0";
+      matcher = Typed Atomic_mixed;
+      allowed_files = [];
+    };
+    {
+      id = "R14";
+      severity = Error;
+      summary = "mutex not released on every path, or re-acquired in a callee";
+      rationale =
+        "A Mutex.lock with no unlock on some path (an exception, an early \
+         return) leaves the lock held forever; wrap the critical section in \
+         Mutex.protect or Fun.protect ~finally. And OCaml mutexes are not \
+         reentrant: re-acquiring a mutex the caller already holds — \
+         directly or through the call graph — is a self-deadlock. The \
+         finding carries the call chain as evidence.";
+      example =
+        "let m = Mutex.create ()\n\
+         let leak () = Mutex.lock m; compute ()  (* no unlock *)";
+      matcher = Typed Lock_discipline;
+      allowed_files = [];
+    };
+    {
+      id = "R15";
+      severity = Error;
+      summary =
+        "Domain.DLS state touched outside pool-worker-reachable code";
+      rationale =
+        "Domain.DLS gives each domain its own copy; the per-run counters \
+         rely on that to keep parallel sweeps isolated. DLS state read or \
+         written from code the domain pool can never reach lives only on \
+         the main domain — the 'domain-local' value degenerates to a plain \
+         global, defeating the isolation it was supposed to buy. (The rule \
+         is silent when the linted tree spawns no domains at all.)";
+      example =
+        "let k = Domain.DLS.new_key (fun () -> ref 0)\n\
+         let peek () = !(Domain.DLS.get k)  (* never runs under the pool *)";
+      matcher = Typed Dls_misuse;
+      allowed_files = [];
     };
   ]
 
-let find id = List.find_opt (fun r -> r.id = id) all
+(* Retired rule ids, mapped onto the rule that absorbed them. R11
+   (toplevel mutable state reachable from a pool closure through the
+   call graph) is a strict subset of R12's escape analysis: existing
+   [allow R11] waivers keep working, [--rules R11] selects R12. *)
+let aliases = [ ("R11", "R12") ]
 
-let known_ids = List.map (fun r -> r.id) all
+let canon_id id =
+  match List.assoc_opt id aliases with Some id' -> id' | None -> id
+
+let find id = List.find_opt (fun r -> r.id = canon_id id) all
+
+let known_ids = List.map (fun r -> r.id) all @ List.map fst aliases
 
 (* --- registries the typed rules key on (data, like the rule table) --- *)
 
@@ -246,8 +400,10 @@ let io_fns =
     "Sys.command"; "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv";
   ]
 
-(* R9: functions that mutate their first argument in place; applying
-   one to a module-global value is an ambient top-level mutation. *)
+(* R9/R12: functions that mutate their first argument in place;
+   applying one to a module-global value is an ambient top-level
+   mutation, applying one to a location captured by a pool closure is
+   an escape. *)
 let mutator_fns =
   [
     ":="; "incr"; "decr";
@@ -256,6 +412,23 @@ let mutator_fns =
     "Buffer.add_string"; "Buffer.add_char"; "Buffer.clear"; "Buffer.reset";
     "Queue.add"; "Queue.push"; "Queue.pop"; "Queue.take"; "Queue.clear";
     "Stack.push"; "Stack.pop"; "Stack.clear";
+    "Array.set"; "Array.fill"; "Array.blit"; "Array.unsafe_set";
+    "Bytes.set"; "Bytes.fill"; "Bytes.blit";
+  ]
+
+(* R12: reading a shared container from another domain races with any
+   concurrent writer, so reads of captured containers are escapes too.
+   (Array.length is not here: the header word is immutable.) *)
+let container_read_fns =
+  [
+    "!";
+    "Hashtbl.find"; "Hashtbl.find_opt"; "Hashtbl.find_all"; "Hashtbl.mem";
+    "Hashtbl.length";
+    "Buffer.contents"; "Buffer.length"; "Buffer.nth";
+    "Queue.peek"; "Queue.peek_opt"; "Queue.top"; "Queue.is_empty";
+    "Queue.length";
+    "Stack.top"; "Stack.is_empty"; "Stack.length";
+    "Array.get"; "Array.unsafe_get"; "Bytes.get";
   ]
 
 (* R9 effect categories map onto the per-file allowlists of the
@@ -269,9 +442,28 @@ let effect_allowed_files = function
 (* R10: variant types with this name are protocol message types. *)
 let msg_type_name = "msg"
 
-(* R11: entry points of the domain pool — a binding that references one
-   of these hands work to other domains, so its reachable effect
-   footprint (computed on the R9 call graph) must contain no top-level
-   mutation. Matched by whole-component path suffix, like
-   [poly_compare_fns]. *)
-let pool_submit_fns = [ "Pool.submit"; "Pool.map" ]
+(* R12/R15: entry points that hand a closure to another domain.
+   Matched by whole-component path suffix, like [poly_compare_fns].
+   A binding that references one of these is a *spawn node*: the
+   closures it passes run off the submitting domain, so everything
+   they capture is subject to the escape analysis, and the set of
+   functions reachable from spawn nodes is the "pool-worker-reachable"
+   region R15 checks DLS uses against. *)
+let spawn_fns = [ "Pool.submit"; "Pool.map"; "Pool.post"; "Domain.spawn" ]
+
+(* Retired R11 keyed on the submit/map subset; kept as an alias so the
+   registry name stays meaningful in older waiver reasons and docs. *)
+let pool_submit_fns = spawn_fns
+
+(* R12: wrappers that run their function argument with a lock held —
+   accesses inside the argument count as mutex-guarded. [Fun.protect]
+   is here for its ~finally cleanup idiom around manual lock/unlock. *)
+let guard_fns = [ "Mutex.protect"; "Fun.protect"; "Locks.with_lock" ]
+
+(* R12: index expressions derived from these are per-slot: an array
+   write at such an index touches a slot no sibling job touches
+   (the pool's submission-order merge idiom). *)
+let slot_index_sources = [ "Atomic.fetch_and_add" ]
+
+(* R15: touching a DLS value (creating a key is fine anywhere). *)
+let dls_fns = [ "Domain.DLS.get"; "Domain.DLS.set" ]

@@ -1,17 +1,21 @@
-(* The determinism rule set R1-R11, encoded as data, plus the
-   registries the typed rules key on. docs/determinism.md is the
-   prose counterpart. *)
+(* The determinism rule set R1-R10 plus the race plane R12-R15,
+   encoded as data, plus the registries the typed rules key on.
+   docs/determinism.md is the prose counterpart. *)
 
 type severity = Error | Warn
 
 (* Which typed (cmt-based) check a [Typed _] rule dispatches to; the
-   parsetree engine ignores these, Typed_engine implements them. *)
+   parsetree engine ignores these. Typed_engine implements R7-R10,
+   Race_engine implements R12-R15. *)
 type typed_check =
   | Poly_compare  (* R7 *)
   | Float_time  (* R8 *)
   | Handler_effects  (* R9 *)
   | Msg_liveness  (* R10 *)
-  | Pool_captures  (* R11 *)
+  | Race_escape  (* R12 *)
+  | Atomic_mixed  (* R13 *)
+  | Lock_discipline  (* R14 *)
+  | Dls_misuse  (* R15 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -24,6 +28,8 @@ type rule = {
   id : string;
   severity : severity;
   summary : string;
+  rationale : string;  (* --explain: why the construct is forbidden *)
+  example : string;  (* --explain: a minimal firing snippet *)
   matcher : matcher;
   allowed_files : string list;
       (* repo-relative paths exempt from the rule without a waiver *)
@@ -32,8 +38,16 @@ type rule = {
 val severity_to_string : severity -> string
 
 val all : rule list
+
+(* Retired rule ids mapped onto the rule that absorbed them (currently
+   R11 -> R12). [canon_id] resolves an alias to its live rule id and
+   is the identity on everything else; [find] and waiver matching go
+   through it, so old [--rules R11] invocations and [allow R11]
+   pragmas keep working. *)
+val aliases : (string * string) list
+val canon_id : string -> string
 val find : string -> rule option
-val known_ids : string list
+val known_ids : string list  (* live ids plus alias names *)
 
 (* R7: polymorphic functions whose instantiation type is checked, and
    what they must not be instantiated at. [owned_types] maps a type
@@ -54,12 +68,31 @@ val entry_roots : string list
 val io_fns : string list
 val mutator_fns : string list
 
+(* R12: functions that read a shared container's contents (racy when
+   the container is shared across domains with a concurrent writer). *)
+val container_read_fns : string list
+
 val effect_allowed_files :
   [ `Random | `Clock | `Io | `Mutation ] -> string list
 
 (* R10: variant types with this name are protocol message types. *)
 val msg_type_name : string
 
-(* R11: the domain pool's entry points; a binding referencing one must
-   have no top-level mutation in its reachable effect footprint. *)
+(* R12/R15: entry points that hand a closure to another domain; a
+   binding referencing one is a spawn node, the root set of the
+   pool-worker-reachable region. [pool_submit_fns] is the retired
+   R11-era name for the same registry. *)
+val spawn_fns : string list
 val pool_submit_fns : string list
+
+(* R12: wrappers that run their function argument with a lock held /
+   with guaranteed cleanup. *)
+val guard_fns : string list
+
+(* R12: functions whose result is a per-slot index; an array write
+   indexed by a value bound to one of these touches a slot no sibling
+   job touches. *)
+val slot_index_sources : string list
+
+(* R15: the DLS access points (creating a key is fine anywhere). *)
+val dls_fns : string list

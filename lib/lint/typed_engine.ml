@@ -18,12 +18,12 @@
          the full call chain as evidence — for every path from a
          Protocol.S handler entry point to an effect;
      R10 liveness of protocol [msg] variant constructors: never built
-         or never matched means a dead protocol message;
-     R11 parallel-sweep isolation: reusing the R9 call graph, any
-         binding that references a domain-pool entry point
-         (Rules.pool_submit_fns) is checked for reachable top-level
-         mutation — shared mutable state would let the parallel
-         schedule show through and break --jobs invariance.
+         or never matched means a dead protocol message.
+
+   The race plane R12-R15 (Race_engine) runs over the same unit set
+   from [lint_units], and its findings are merged here — one entry
+   point serves both typed planes. The retired rule R11 (toplevel
+   mutable state reachable from pool closures) is an alias of R12.
 
    Findings are Engine.finding values, so the waiver pragmas and both
    reporters work unchanged. R9 additionally honours *effect-site*
@@ -48,76 +48,14 @@ type unit_info = {
 
 (* --- path canonicalisation ------------------------------------------- *)
 
-(* Dune mangles wrapped-library modules ("Baselines__D2pl") and
-   executable modules ("Dune__exe__Ncc_lint"); undo both so one
-   canonical spelling ("Baselines.D2pl") covers every way a unit can
-   be named in a Path.t. *)
-let split_mangled s =
-  let out = ref [] in
-  let b = Buffer.create 16 in
-  let n = String.length s in
-  let i = ref 0 in
-  while !i < n do
-    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
-      out := Buffer.contents b :: !out;
-      Buffer.clear b;
-      i := !i + 2
-    end
-    else begin
-      Buffer.add_char b s.[!i];
-      incr i
-    end
-  done;
-  out := Buffer.contents b :: !out;
-  List.filter (fun x -> x <> "") (List.rev !out)
-
-let canon_head name =
-  match split_mangled name with
-  | "Dune" :: "exe" :: rest -> rest
-  | parts -> parts
-
-(* Canonical components of a path, ignoring any per-unit context
-   (enough for suffix matching of type and function names). *)
-let rec plain_parts (p : Path.t) =
-  match p with
-  | Path.Pident id -> canon_head (Ident.name id)
-  | Path.Pdot (p, s) -> plain_parts p @ [ s ]
-  | Path.Papply (a, _) -> plain_parts a
-  | Path.Pextra_ty (p, _) -> plain_parts p
-
-let plain_path p = String.concat "." (plain_parts p)
-
-let strip_stdlib s =
-  if String.length s > 7 && String.sub s 0 7 = "Stdlib." then
-    String.sub s 7 (String.length s - 7)
-  else s
-
-(* Whole-component suffix match: "Ts.t" matches "Kernel.Ts.t" but not
-   "Cuts.t"; "Clock.read" does not match "Sim.Clock.read_ns". *)
-let has_suffix ~suffix s =
-  s = suffix
-  ||
-  let ls = String.length s and lf = String.length suffix in
-  ls > lf + 1
-  && String.sub s (ls - lf) lf = suffix
-  && s.[ls - lf - 1] = '.'
-
-let norm_fname f =
-  let f =
-    if String.length f >= 2 && String.sub f 0 2 = "./" then
-      String.sub f 2 (String.length f - 2)
-    else f
-  in
-  (* "_build/<context>/lib/x.ml" -> "lib/x.ml" *)
-  let parts = String.split_on_char '/' f in
-  let rec after_build = function
-    | "_build" :: _ :: rest -> Some rest
-    | _ :: tl -> after_build tl
-    | [] -> None
-  in
-  match after_build parts with
-  | Some rest when rest <> [] -> String.concat "/" rest
-  | _ -> f
+(* Shared with Race_engine via Paths; local shorthands keep the many
+   call sites below readable. *)
+let split_mangled = Paths.split_mangled
+let canon_head = Paths.canon_head
+let plain_path = Paths.plain_path
+let strip_stdlib = Paths.strip_stdlib
+let has_suffix = Paths.has_suffix
+let norm_fname = Paths.norm_fname
 
 (* --- per-unit context ------------------------------------------------- *)
 
@@ -177,9 +115,7 @@ type acc = {
 let rule_active acc id =
   match acc.k_only with None -> true | Some ids -> List.mem id ids
 
-let loc_pos (loc : Location.t) =
-  let p = loc.loc_start in
-  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+let loc_pos = Paths.loc_pos
 
 let emit acc ?(chain = []) ~rule ~(loc : Location.t) msg =
   match Rules.find rule with
@@ -347,10 +283,7 @@ let r2_idents =
   | Some { matcher = Rules.Forbid_idents ids; _ } -> List.map strip_stdlib ids
   | _ -> []
 
-let has_prefix ~prefix path =
-  path = prefix
-  || String.length path > String.length prefix
-     && String.sub path 0 (String.length prefix + 1) = prefix ^ "."
+let has_prefix = Paths.has_prefix
 
 (* An effect-site waiver [allow R9] on the line of the effect removes
    it from the graph (used for audited reset-on-run counters). *)
@@ -672,42 +605,6 @@ let report_r9 acc =
         | _ -> ())
       (List.sort String.compare acc.k_keys)
 
-(* --- R11: parallel-sweep isolation ------------------------------------ *)
-
-(* A binding that references Pool.submit/Pool.map hands closures to
-   other domains. The closures' bodies are walked as part of the
-   submitting binding, so reachability from that binding on the R9
-   call graph over-approximates reachability from the submitted work;
-   any reachable top-level mutation means the parallel schedule could
-   be observed, breaking the bit-identical --jobs guarantee. The
-   pool's own internals (its result slots) are exempt via
-   [allowed_files]. *)
-let submits_to_pool (n : node) =
-  List.exists
-    (fun r ->
-      List.exists (fun f -> has_suffix ~suffix:f r) Rules.pool_submit_fns)
-    n.n_refs
-
-let report_r11 acc =
-  if rule_active acc "R11" then
-    List.iter
-      (fun key ->
-        match Hashtbl.find_opt acc.k_nodes key with
-        | Some n when submits_to_pool n ->
-          List.iter
-            (fun (cat, chain, (a : amb)) ->
-              match cat with
-              | `Mutation ->
-                emit acc ~chain ~rule:"R11" ~loc:(node_loc n)
-                  (Printf.sprintf
-                     "%s submits work to the domain pool but can reach \
-                      top-level mutable state: %s"
-                     n.n_key a.a_desc)
-              | `Random | `Clock | `Io -> ())
-            (entry_chains acc n)
-        | _ -> ())
-      (List.sort String.compare acc.k_keys)
-
 (* --- R10: msg constructor liveness ------------------------------------ *)
 
 let report_r10 acc =
@@ -784,8 +681,21 @@ let lint_units ?only units =
     ctxs;
   report_r9 acc;
   report_r10 acc;
-  report_r11 acc;
-  (List.sort Engine.compare_findings acc.k_findings, acc.k_used)
+  (* the race plane (R12-R15) runs over the same unit set *)
+  let race_findings, race_used =
+    Race_engine.lint_units ?only
+      (List.map
+         (fun (u, ctx) ->
+           {
+             Race_engine.r_prefix = split_mangled u.u_name;
+             r_file = u.u_file;
+             r_str = u.u_str;
+             r_pragmas = ctx.c_pragmas;
+           })
+         ctxs)
+  in
+  ( List.sort Engine.compare_findings (race_findings @ acc.k_findings),
+    race_used @ acc.k_used )
 
 (* --- loading units ----------------------------------------------------- *)
 

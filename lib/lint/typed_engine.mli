@@ -1,12 +1,14 @@
 (* The type-aware analysis engine: rules R7-R10 over the compiler's
-   typedtree, loaded from the .cmt files dune produces. Findings are
-   Engine.finding values so the waiver and reporter machinery applies
-   unchanged; R9 findings carry the call chain from the handler entry
-   point to the effect site in [Engine.finding.chain].
+   typedtree, loaded from the .cmt files dune produces, plus the race
+   plane R12-R15 (Race_engine), which runs over the same unit set and
+   whose findings are merged here. Findings are Engine.finding values
+   so the waiver and reporter machinery applies unchanged; R9/R12/R14
+   findings carry the call chain to the effect site in
+   [Engine.finding.chain].
 
-   The analyses are whole-program over the loaded unit set: R9 builds
-   a cross-module call graph, R10 tallies [msg] constructor uses
-   everywhere. Lint the full tree, or expect liveness noise. *)
+   The analyses are whole-program over the loaded unit set: R9 and the
+   race plane build a cross-module call graph, R10 tallies [msg]
+   constructor uses everywhere. Lint the full tree, or expect noise. *)
 
 type unit_info = {
   u_name : string;  (* canonical module path, e.g. "Ncc.Server" *)
@@ -15,10 +17,12 @@ type unit_info = {
   u_source : string option;  (* for R9 effect-site waivers *)
 }
 
-(* Analyse a set of units. Returns the findings (sorted) and the
-   effect-site waiver pragmas R9 consumed, as (file, pragma line)
-   pairs — pass these to [Engine.lint_source ~used_sites] so they are
-   not reported as unused. [only] restricts to the given rule ids. *)
+(* Analyse a set of units (both typed planes). Returns the findings
+   (sorted) and the effect-site waiver pragmas R9/R12 consumed, as
+   (file, pragma line) pairs — pass these to
+   [Engine.lint_source ~used_sites] so they are not reported as
+   unused. [only] restricts to the given rule ids (aliases resolved:
+   "R11" selects R12). *)
 val lint_units :
   ?only:string list -> unit_info list -> Engine.finding list * (string * int) list
 

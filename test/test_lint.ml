@@ -156,6 +156,30 @@ let reporters () =
   Alcotest.(check bool) "json form counts errors" true
     (contains json {|"errors":1|})
 
+(* Golden pin of the JSON schema. This is the exact byte shape
+   downstream tooling parses: any change to it is a breaking schema
+   change and must bump [Report.schema_version] (and this test). *)
+let json_golden () =
+  Alcotest.(check int) "schema version" 2 Lint.Report.schema_version;
+  let f =
+    {
+      Lint.Engine.file = "lib/a.ml";
+      line = 3;
+      col = 4;
+      rule = "R12";
+      severity = Lint.Rules.Error;
+      message = {|escape of "q"|};
+      chain = [ "A.sweep"; "A.record" ];
+    }
+  in
+  Alcotest.(check string) "golden finding object"
+    {|{"file":"lib/a.ml","line":3,"col":4,"rule":"R12","severity":"error","message":"escape of \"q\"","chain":["A.sweep","A.record"]}|}
+    (Lint.Report.json_finding f);
+  Alcotest.(check string) "golden document shape"
+    ({|{"version":2,"findings":[|} ^ Lint.Report.json_finding f
+   ^ {|],"errors":1}|} ^ "\n")
+    (Format.asprintf "%a" Lint.Report.print_json [ f ])
+
 let suite =
   [
     Alcotest.test_case "rules fire" `Quick fires;
@@ -165,4 +189,5 @@ let suite =
     Alcotest.test_case "file allowlists" `Quick allowlists;
     Alcotest.test_case "parse errors are findings" `Quick parse_error_is_finding;
     Alcotest.test_case "reporters" `Quick reporters;
+    Alcotest.test_case "json schema golden" `Quick json_golden;
   ]

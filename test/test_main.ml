@@ -24,6 +24,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
       ("typed-lint", Test_typed_lint.suite);
+      ("race-lint", Test_race_lint.suite);
       ("pool", Test_pool.suite);
       ("e2e", Test_e2e.suite);
     ]

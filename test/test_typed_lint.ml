@@ -220,11 +220,13 @@ let r10_liveness () =
       ^ " allow R10 - reserved wire constructors *)\n\
         \  type msg = Ping | Pong\nend\n"))
 
-(* --- R11: parallel-sweep isolation --------------------------------- *)
+(* --- R12 graph half: parallel-sweep isolation ----------------------- *)
 
-(* A local [Pool] stub exercises the same suffix-matched registry path
-   ("Pool.map") as the real Harness.Pool. *)
-let r11_fixture =
+(* The retired R11's semantics live on as the graph half of R12; these
+   tests select it via the retired id to pin the alias, and via R12 to
+   pin the successor. A local [Pool] stub exercises the same
+   suffix-matched registry path ("Pool.map") as the real Harness.Pool. *)
+let r12_graph_fixture =
   "module Pool = struct\n\
   \  let map ~jobs:_ f xs = List.map f xs\n\
    end\n\n\
@@ -232,10 +234,11 @@ let r11_fixture =
    let record x = Hashtbl.replace tally x x\n\n\
    let sweep xs = Pool.map ~jobs:4 (fun x -> record x) xs\n"
 
-let r11_fires () =
-  match typed ~only:[ "R11" ] ~file:"fixture.ml" r11_fixture with
+let r12_graph_fires () =
+  (* selecting by the retired id runs the successor... *)
+  match typed ~only:[ "R11" ] ~file:"fixture.ml" r12_graph_fixture with
   | [ f ] ->
-    Alcotest.(check string) "rule" "R11" f.Lint.Engine.rule;
+    Alcotest.(check string) "retired id selects R12" "R12" f.Lint.Engine.rule;
     Alcotest.(check int) "at the submitting binding" 9 f.Lint.Engine.line;
     Alcotest.(check bool) "names the submitting binding and the state" true
       (contains f.Lint.Engine.message "Fixture.sweep"
@@ -245,12 +248,18 @@ let r11_fires () =
       "chain runs from the submitter through the mutator to the effect"
       [ "Fixture.sweep"; "Fixture.record";
         "Hashtbl.replace on global Fixture.tally (fixture.ml:7)" ]
-      f.Lint.Engine.chain
-  | fs -> Alcotest.failf "expected exactly one R11 finding, got %d" (List.length fs)
+      f.Lint.Engine.chain;
+    (* ...and selecting by the live id finds the same thing *)
+    Alcotest.(check (list (triple string int string)))
+      "R11 and R12 select the same analysis"
+      [ ("fixture.ml", 9, "R12") ]
+      (sites ~only:[ "R12" ] r12_graph_fixture)
+  | fs ->
+    Alcotest.failf "expected exactly one R12 finding, got %d" (List.length fs)
 
-let r11_clean () =
+let r12_graph_clean () =
   (* self-contained jobs: all state is built inside the closure *)
-  check_sites "pure pooled sweep is quiet" [] ~only:[ "R11" ]
+  check_sites "pure pooled sweep is quiet" [] ~only:[ "R12" ]
     "module Pool = struct\n\
     \  let map ~jobs:_ f xs = List.map f xs\n\
      end\n\n\
@@ -261,24 +270,26 @@ let r11_clean () =
      let sweep xs = Pool.map ~jobs:4 (fun x -> job x) xs\n";
   (* mutating a global is fine as long as no binding on the path hands
      work to the pool *)
-  check_sites "sequential mutation is not R11's business" [] ~only:[ "R11" ]
+  check_sites "sequential mutation is not R12's business" [] ~only:[ "R12" ]
     "let tally = Hashtbl.create 16\n\n\
      let record x = Hashtbl.replace tally x x\n\n\
      let sweep xs = List.map (fun x -> record x) xs\n"
 
-let r11_waived () =
+let r12_graph_waived () =
+  (* a pre-R12 waiver written against the retired id still silences the
+     successor's finding — retirement must not invalidate audits *)
   Alcotest.(check (list (triple string int string)))
-    "waived pooled mutation" []
+    "waived pooled mutation (retired-id pragma)" []
     (full_sites
        ("module Pool = struct\n\
         \  let map ~jobs:_ f xs = List.map f xs\n\
          end\n\n"
       ^ kw
       ^ " allow R5 - fixture: audited accumulator *)\n\
-         let tally = Hashtbl.create 16\n\n\
-         let record x = Hashtbl.replace tally x x\n\n"
+         let tally = Hashtbl.create 16\n\n"
       ^ kw
       ^ " allow R11 - fixture: merge is order-insensitive by review *)\n\
+         let record x = Hashtbl.replace tally x x\n\n\
          let sweep xs = Pool.map ~jobs:4 (fun x -> record x) xs\n"))
 
 let rule_filter () =
@@ -318,9 +329,11 @@ let suite =
       r9_mutation_and_waiver;
     Alcotest.test_case "R9 clean" `Quick r9_clean;
     Alcotest.test_case "R10 constructor liveness" `Quick r10_liveness;
-    Alcotest.test_case "R11 fires on pooled reachable mutation" `Quick r11_fires;
-    Alcotest.test_case "R11 clean" `Quick r11_clean;
-    Alcotest.test_case "R11 waived" `Quick r11_waived;
+    Alcotest.test_case "R12 graph half fires on pooled reachable mutation"
+      `Quick r12_graph_fires;
+    Alcotest.test_case "R12 graph half clean" `Quick r12_graph_clean;
+    Alcotest.test_case "R12 graph half waived via retired id" `Quick
+      r12_graph_waived;
     Alcotest.test_case "rule filter" `Quick rule_filter;
     Alcotest.test_case "reporters carry the chain" `Quick reporters;
   ]
