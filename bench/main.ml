@@ -126,6 +126,66 @@ let params () =
 
 (* --- Bechamel microbenchmarks of the core primitives ----------------- *)
 
+(* In-binary "before" reference for the R16/R17 allocation fixes in
+   lib/sim (docs/performance.md, allocation discipline). [Heap_ref]
+   replicates the pre-SoA event heap: one entry record per push (the
+   float prio field is boxed in the mixed record) and a Some-wrapped
+   tuple per pop. Kept here, not in lib/, so the shipped code stays
+   on the non-allocating path while the JSON keeps a before/after
+   pair. *)
+module Heap_ref = struct
+  type 'a entry = { prio : float; seq : int; payload : 'a }
+  type 'a t = { mutable a : 'a entry array; mutable size : int; mutable next_seq : int }
+
+  let create () = { a = [||]; size = 0; next_seq = 0 }
+
+  let before x y =
+    x.prio < y.prio
+    (* ncc-lint: allow R8 — reference copy of the heap's exact-tie seq fallback *)
+    || (x.prio = y.prio && x.seq < y.seq)
+
+  let swap t i j =
+    let tmp = t.a.(i) in
+    t.a.(i) <- t.a.(j);
+    t.a.(j) <- tmp
+
+  let push t prio payload =
+    let e = { prio; seq = t.next_seq; payload } in
+    t.next_seq <- t.next_seq + 1;
+    if t.size = Array.length t.a then
+      t.a <- Array.append t.a (Array.make (max 8 (t.size + 1)) e);
+    t.a.(t.size) <- e;
+    t.size <- t.size + 1;
+    let i = ref t.size in
+    decr i;
+    while !i > 0 && before t.a.(!i) t.a.((!i - 1) / 2) do
+      swap t !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let root = t.a.(0) in
+      t.size <- t.size - 1;
+      t.a.(0) <- t.a.(t.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < t.size && before t.a.(l) t.a.(!m) then m := l;
+        if r < t.size && before t.a.(r) t.a.(!m) then m := r;
+        if !m <> !i then begin
+          swap t !i !m;
+          i := !m
+        end
+        else continue := false
+      done;
+      Some (root.prio, root.payload)
+    end
+end
+
 let micro () =
   let open Bechamel in
   let open Toolkit in
@@ -180,6 +240,68 @@ let micro () =
            done;
            while Option.is_some (Sim.Heap.pop h) do
              ()
+           done))
+  in
+  (* Before/after pair for the R16/R17 heap fix, in the shape the sim
+     engine actually runs it: a persistent 1k-entry timer heap under
+     pop+push churn. The SoA heap's non-allocating top_prio/pop_min
+     path against the boxed-entry AoS reference it replaced (one mixed
+     record with a boxed float per push, one Some-wrapped tuple per
+     pop). A cold drain of a tiny heap would hide the difference —
+     bump allocation is nearly free until steady-state churn keeps
+     the minor collector busy. *)
+  let heap_drain =
+    let h = Sim.Heap.create () in
+    for i = 1 to 1024 do
+      Sim.Heap.push h (float_of_int (i * 7919 mod 1000)) i
+    done;
+    Test.make ~name:"heap churn pop_min+push x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             ignore (Sim.Heap.top_prio h);
+             let v = Sim.Heap.pop_min h in
+             Sim.Heap.push h (float_of_int (i * 7919 mod 1000)) v
+           done))
+  in
+  let heap_boxed_ref =
+    let h = Heap_ref.create () in
+    for i = 1 to 1024 do
+      Heap_ref.push h (float_of_int (i * 7919 mod 1000)) i
+    done;
+    Test.make ~name:"heap churn boxed-entry ref x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             match Heap_ref.pop h with
+             | Some (_, v) -> Heap_ref.push h (float_of_int (i * 7919 mod 1000)) v
+             | None -> ()
+           done))
+  in
+  (* Before/after pair for the R17 net-trace fix: send_faulty's trace
+     helper used to run kasprintf unconditionally — every message
+     built its trace string even with tracing off — and the fixed
+     helper checks Sim.Trace.active first, paying only a load and a
+     branch on the (default) cold side. Both rows run with tracing
+     off, which is how every benchmark and test runs. *)
+  let trace_guarded =
+    let sink = ref 0 in
+    Test.make ~name:"net trace fmt guarded x100 (off)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             if Sim.Trace.active () then
+               Format.kasprintf
+                 (fun s -> sink := !sink + String.length s)
+                 "%d -> %d (arrives +%.0fus)" i (i + 1) 3.5
+           done))
+  in
+  let trace_eager_ref =
+    let sink = ref 0 in
+    Test.make ~name:"net trace fmt eager ref x100 (off)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             Format.kasprintf
+               (fun s ->
+                 if Sim.Trace.active () then sink := !sink + String.length s)
+               "%d -> %d (arrives +%.0fus)" i (i + 1) 3.5
            done))
   in
   let zipf =
@@ -318,6 +440,10 @@ let micro () =
       detmap_cached;
       safeguard;
       heap;
+      heap_drain;
+      heap_boxed_ref;
+      trace_guarded;
+      trace_eager_ref;
       zipf;
       checker;
       checker_stream;
@@ -350,11 +476,13 @@ let micro () =
 
 (* --- analyzer cost: the typed + race lint planes, timed --------------- *)
 
-(* One full typed-engine pass (R7-R10 + the race plane R12-R15) over
-   the workspace's .cmt files, reported as the "lint.typed" micro row
-   so analyzer cost is tracked next to the primitive timings. A host
-   wall-clock figure, like every micro row: parity byte-diffs must
-   select experiments that exclude it. Contributes no row when no
+(* One full typed-engine pass (R7-R10 + the race plane R12-R15 + the
+   allocation plane R16-R19) over the workspace's .cmt files, reported
+   as the "lint.typed" micro row, plus an isolated run of just the
+   allocation plane over the already-loaded units as "lint.alloc", so
+   analyzer cost is tracked next to the primitive timings. Host
+   wall-clock figures, like every micro row: parity byte-diffs must
+   select experiments that exclude them. Contributes no rows when no
    build tree is visible (an installed binary run outside the
    workspace). *)
 let lint () =
@@ -380,7 +508,20 @@ let lint () =
     let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "%-36s %12.1f ns/run  (%d units, %d pre-waiver findings)\n"
       "lint.typed" (elapsed *. 1e9) (List.length cmts) (List.length findings);
-    [ Harness.Report.micro_row ~name:"lint.typed" ~ns_per_run:(elapsed *. 1e9) ]
+    let units, _ = Lint.Typed_engine.load_units cmts in
+    (* ncc-lint: allow R2 — wall-clock times the analyzer itself *)
+    let t0 = Unix.gettimeofday () in
+    let alloc_findings = Lint.Typed_engine.alloc_pass units in
+    (* ncc-lint: allow R2 — wall-clock times the analyzer itself *)
+    let elapsed_alloc = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-36s %12.1f ns/run  (%d units, %d pre-waiver findings)\n"
+      "lint.alloc" (elapsed_alloc *. 1e9) (List.length units)
+      (List.length alloc_findings);
+    [
+      Harness.Report.micro_row ~name:"lint.typed" ~ns_per_run:(elapsed *. 1e9);
+      Harness.Report.micro_row ~name:"lint.alloc"
+        ~ns_per_run:(elapsed_alloc *. 1e9);
+    ]
   end
 
 (* --- driver ----------------------------------------------------------- *)

@@ -1,22 +1,27 @@
-(* ncc_lint — the determinism linter (docs/determinism.md).
+(* ncc_lint — the determinism linter (docs/determinism.md,
+   docs/performance.md).
 
-   Usage: ncc_lint [--json] [--werror] [--rules R1,R7,...]
-                   [--cmt-root DIR] [--explain Rn] [PATH ...]
+   Usage: ncc_lint [--format human|json|sarif] [--werror]
+                   [--rules R1,R7,...] [--cmt-root DIR] [--explain Rn]
+                   [--waivers] [PATH ...]
 
    Lints every .ml file under the given paths (default: lib bin bench
    test) against the syntactic rule set R1-R6, and — when --cmt-root
    points at a build tree containing .cmt files — the typed rules
-   R7-R10 and the race plane R12-R15 as well. Exits non-zero if any
-   error-severity finding survives waivers; [--werror] also fails on
-   warnings (unused waiver pragmas). *)
+   R7-R10, the race plane R12-R15 and the allocation plane R16-R19 as
+   well. Exits non-zero if any error-severity finding survives
+   waivers; [--werror] also fails on warnings (unused waiver
+   pragmas). *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
 let usage =
-  "usage: ncc_lint [--json] [--werror] [--rules R1,R7,...] [--cmt-root DIR] \
-   [--explain Rn] [PATH ...]\n\n\
-  \  --json          emit findings as JSON instead of file:line text\n\
-  \                  (top-level \"version\" field tracks the schema)\n\
+  "usage: ncc_lint [--format human|json|sarif] [--werror] [--rules R1,R7,...] \
+   [--cmt-root DIR] [--explain Rn] [--waivers] [PATH ...]\n\n\
+  \  --format FMT    finding output: human (default) file:line text, json\n\
+  \                  (top-level \"version\" field tracks the schema), or\n\
+  \                  sarif (SARIF 2.1.0, for code-scanning upload)\n\
+  \  --json          alias for --format json\n\
   \  --werror        exit non-zero on warnings too\n\
   \  --rules IDS     run only the comma-separated rule ids (e.g. R7,R9);\n\
   \                  retired ids select their successor (R11 -> R12)\n\
@@ -26,6 +31,8 @@ let usage =
   \                  running inside it)\n\
   \  --explain IDS   print each rule's summary, rationale and a minimal\n\
   \                  firing example, then exit (e.g. --explain R12)\n\
+  \  --waivers       list every waiver pragma under PATHs (file:line,\n\
+  \                  rules, reason) in deterministic order, then exit\n\
   \  --help          show this message\n\n\
    Default PATHs: lib bin bench test. Rules: docs/determinism.md.\n"
 
@@ -50,13 +57,22 @@ let rec walk ~ext ~skip_dot path acc =
   else if Filename.check_suffix path ext then path :: acc
   else acc
 
+type format = Human | Json | Sarif
+
 type opts = {
-  json : bool;
+  format : format;
   werror : bool;
   rules : string list option;
   cmt_root : string option;
+  waivers : bool;
   roots : string list;
 }
+
+let parse_format = function
+  | "human" -> Human
+  | "json" -> Json
+  | "sarif" -> Sarif
+  | s -> die (Printf.sprintf "unknown format: %s (human, json or sarif)" s)
 
 let parse_rules spec =
   let ids =
@@ -112,8 +128,11 @@ let parse_args args =
     | "--help" :: _ ->
       print_string usage;
       exit 0
-    | "--json" :: rest -> go { o with json = true } rest
+    | "--json" :: rest -> go { o with format = Json } rest
+    | "--format" :: fmt :: rest -> go { o with format = parse_format fmt } rest
+    | [ "--format" ] -> die "--format needs an argument (human, json or sarif)"
     | "--werror" :: rest -> go { o with werror = true } rest
+    | "--waivers" :: rest -> go { o with waivers = true } rest
     | "--rules" :: spec :: rest ->
       go { o with rules = Some (parse_rules spec) } rest
     | [ "--rules" ] -> die "--rules needs an argument"
@@ -125,11 +144,14 @@ let parse_args args =
       match split_eq a with
       | Some ("--rules", spec) -> go { o with rules = Some (parse_rules spec) } rest
       | Some ("--cmt-root", dir) -> go { o with cmt_root = Some dir } rest
+      | Some ("--format", fmt) -> go { o with format = parse_format fmt } rest
       | Some ("--explain", spec) -> explain (parse_rules spec)
       | _ -> die (Printf.sprintf "unknown flag: %s" a))
     | path :: rest -> go { o with roots = o.roots @ [ path ] } rest
   in
-  go { json = false; werror = false; rules = None; cmt_root = None; roots = [] }
+  go
+    { format = Human; werror = false; rules = None; cmt_root = None;
+      waivers = false; roots = [] }
     args
 
 let () =
@@ -146,6 +168,25 @@ let () =
     |> List.map Lint.Engine.normalize
     |> List.sort_uniq String.compare
   in
+  if o.waivers then begin
+    (* inventory mode: list every waiver pragma under the roots and
+       exit; malformed pragmas are lint findings, not inventory rows *)
+    let items =
+      List.concat_map
+        (fun file ->
+          match In_channel.with_open_bin file In_channel.input_all with
+          | source ->
+            List.filter_map
+              (function
+                | Lint.Pragma.Pragma p -> Some (file, p)
+                | Lint.Pragma.Malformed _ -> None)
+              (Lint.Pragma.scan source)
+          | exception Sys_error _ -> [])
+        files
+    in
+    Lint.Report.print_waivers Format.std_formatter items;
+    exit 0
+  end;
   (* Typed rules first: their findings merge into each file's waiver
      pass below. The .objs directories holding .cmt files are
      dot-named, so this walk must not skip dot entries. *)
@@ -181,12 +222,16 @@ let () =
     @ typed_stray
   in
   let findings = List.sort Lint.Engine.compare_findings findings in
-  if o.json then Lint.Report.print_json Format.std_formatter findings
-  else if findings <> [] then
-    Lint.Report.print_human Format.std_formatter findings
-  else
-    Printf.printf "ncc_lint: %d files clean (rules %s)\n" (List.length files)
-      (String.concat " "
-         (match o.rules with None -> Lint.Rules.known_ids | Some ids -> ids));
+  (match o.format with
+   | Json -> Lint.Report.print_json Format.std_formatter findings
+   | Sarif -> Lint.Report.print_sarif Format.std_formatter findings
+   | Human ->
+     if findings <> [] then Lint.Report.print_human Format.std_formatter findings
+     else
+       Printf.printf "ncc_lint: %d files clean (rules %s)\n" (List.length files)
+         (String.concat " "
+            (match o.rules with
+             | None -> Lint.Rules.known_ids
+             | Some ids -> ids)));
   let errors = Lint.Engine.errors findings in
   if errors <> [] || (o.werror && findings <> []) then exit 1

@@ -86,43 +86,39 @@ let reply_pending s pm =
    commit serves the value, an abort re-resolves against the
    then-current chain. *)
 let rec exec_read s pm ~ts key =
-  match Store.version_at s.store key ~ts with
-  | None -> assert false (* chains always hold the initial version *)
-  | Some v ->
-    if v.Store.status = Store.Committed || v.Store.writer = pm.pm_wire then begin
-      v.Store.tr <- Ts.max v.Store.tr ts;
-      pm.pm_results <- Common.result_of_read v key :: pm.pm_results
-    end
-    else begin
-      s.n_waits <- s.n_waits + 1;
-      (* reserve the read slot now: the refined t_r blocks any write
-         that would slide between this version and the parked read *)
-      v.Store.tr <- Ts.max v.Store.tr ts;
-      pm.pm_waiting <- pm.pm_waiting + 1;
-      Store.park v (fun decided ->
-          pm.pm_waiting <- pm.pm_waiting - 1;
-          if decided.Store.status = Store.Committed then
-            pm.pm_results <- Common.result_of_read decided key :: pm.pm_results
-          else exec_read s pm ~ts key;
-          reply_pending s pm)
-    end
+  let v = Store.version_at s.store key ~ts in
+  if v.Store.status = Store.Committed || v.Store.writer = pm.pm_wire then begin
+    v.Store.tr <- Ts.max v.Store.tr ts;
+    pm.pm_results <- Common.result_of_read v key :: pm.pm_results
+  end
+  else begin
+    s.n_waits <- s.n_waits + 1;
+    (* reserve the read slot now: the refined t_r blocks any write
+       that would slide between this version and the parked read *)
+    v.Store.tr <- Ts.max v.Store.tr ts;
+    pm.pm_waiting <- pm.pm_waiting + 1;
+    Store.park v (fun decided ->
+        pm.pm_waiting <- pm.pm_waiting - 1;
+        if decided.Store.status = Store.Committed then
+          pm.pm_results <- Common.result_of_read decided key :: pm.pm_results
+        else exec_read s pm ~ts key;
+        reply_pending s pm)
+  end
 
 (* A write at ts aborts iff a read at a later timestamp already
    observed the version the write would supersede. *)
 let exec_write s pm ~ts key value =
-  match Store.version_at s.store key ~ts with
-  | None -> assert false
-  | Some v ->
-    if Ts.(v.Store.tr > ts) then begin
-      s.n_ts_aborts <- s.n_ts_aborts + 1;
-      pm.pm_failed <- true
-    end
-    else begin
-      let nv = Store.insert_ordered s.store key value ~tw:ts ~writer:pm.pm_wire in
-      let l = Option.value ~default:[] (Hashtbl.find_opt s.installed pm.pm_wire) in
-      Hashtbl.replace s.installed pm.pm_wire ((key, nv) :: l);
-      pm.pm_results <- Common.result_of_write nv key :: pm.pm_results
-    end
+  let v = Store.version_at s.store key ~ts in
+  if Ts.(v.Store.tr > ts) then begin
+    s.n_ts_aborts <- s.n_ts_aborts + 1;
+    pm.pm_failed <- true
+  end
+  else begin
+    let nv = Store.insert_ordered s.store key value ~tw:ts ~writer:pm.pm_wire in
+    let l = Option.value ~default:[] (Hashtbl.find_opt s.installed pm.pm_wire) in
+    Hashtbl.replace s.installed pm.pm_wire ((key, nv) :: l);
+    pm.pm_results <- Common.result_of_write nv key :: pm.pm_results
+  end
 
 let exec s ~src ~wire ~round ~ts ops =
   if Hashtbl.mem s.decided wire then

@@ -77,24 +77,20 @@ let prepare s ~src ~wire ~round ~ts ~ops ~bytes:_ =
          pending write, the order is uncertain: abort-and-retry rather
          than wait (this is where TAPIR pays aborts that MVTO turns
          into short waits) *)
-      (match Store.version_at s.store key ~ts with
-       | None -> Error installed
-       | Some v ->
-         if v.Store.status = Store.Undecided && v.Store.writer <> wire then
-           Error installed
-         else begin
-           v.Store.tr <- Ts.max v.Store.tr ts;
-           run (Common.result_of_read v key :: acc) installed rest
-         end)
+      let v = Store.version_at s.store key ~ts in
+      if v.Store.status = Store.Undecided && v.Store.writer <> wire then
+        Error installed
+      else begin
+        v.Store.tr <- Ts.max v.Store.tr ts;
+        run (Common.result_of_read v key :: acc) installed rest
+      end
     | Types.Write (key, value) :: rest ->
-      (match Store.version_at s.store key ~ts with
-       | None -> Error installed
-       | Some v ->
-         if Ts.(v.Store.tr > ts) then Error installed
-         else begin
-           let nv = Store.insert_ordered s.store key value ~tw:ts ~writer:wire in
-           run (Common.result_of_write nv key :: acc) ((key, nv) :: installed) rest
-         end)
+      let v = Store.version_at s.store key ~ts in
+      if Ts.(v.Store.tr > ts) then Error installed
+      else begin
+        let nv = Store.insert_ordered s.store key value ~tw:ts ~writer:wire in
+        run (Common.result_of_write nv key :: acc) ((key, nv) :: installed) rest
+      end
   in
   match run [] [] ops with
   | Ok (results, installed) ->

@@ -1,0 +1,18 @@
+(* The allocation plane: R16 (boxed-float traffic), R17 (per-call
+   allocation), R18 (hotness propagation with BFS chain evidence) and
+   R19 (hot-annotation hygiene) over typed cmt units. Hot entries come
+   from the Hotpaths seed registry plus [@ncc.hot] attributes; see the
+   implementation header and docs/performance.md for the site classes
+   and the cold-region exemptions. *)
+
+type unit_in = {
+  a_prefix : string list;  (* canonical module path components *)
+  a_file : string;  (* repo-relative source path *)
+  a_str : Typedtree.structure;
+}
+
+(* Run the plane over every unit at once (hotness propagates across
+   unit boundaries). Findings are sorted; waivers are applied later by
+   Engine.lint_source since every finding anchors on a real source
+   line. [only] restricts to the given (alias-resolved) rule ids. *)
+val lint_units : ?only:string list -> unit_in list -> Engine.finding list

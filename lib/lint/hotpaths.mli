@@ -1,0 +1,10 @@
+(* The hot-path seed registry for the allocation plane (R16-R19):
+   node-key suffixes of the functions that are hot by construction —
+   the event loop and heap, clock arithmetic, per-message dispatch,
+   store version lookup, and the streaming checker's feed path.
+   [@ncc.hot] attributes extend the set per declaration. *)
+
+val seeds : string list
+
+(* Whole-component suffix match of a node key against [seeds]. *)
+val is_seed : string -> bool

@@ -64,3 +64,85 @@ let print_json ppf findings =
     schema_version
     (String.concat "," (List.map json_finding findings))
     (List.length (Engine.errors findings))
+
+(* --- SARIF 2.1.0 ------------------------------------------------------- *)
+
+(* Static Analysis Results Interchange Format, the shape code-scanning
+   UIs ingest. One run, one driver; the driver's rule table comes from
+   Rules.all in registry order, so the output is deterministic and a
+   golden test can pin it byte-for-byte. Findings against pseudo-rules
+   ("cmt", "pragma") carry no ruleIndex — they are tool diagnostics,
+   not registry rules. Chains ride in the message text: SARIF
+   codeFlows need per-step locations, and the BFS chain's inner steps
+   are node keys, not source regions. *)
+
+let sarif_version = "2.1.0"
+
+let sarif_level (s : Rules.severity) =
+  match s with Rules.Error -> "error" | Rules.Warn -> "warning"
+
+let sarif_rule (r : Rules.rule) =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"},"fullDescription":{"text":"%s"},"defaultConfiguration":{"level":"%s"}}|}
+    (json_escape r.Rules.id)
+    (json_escape r.Rules.summary)
+    (json_escape r.Rules.rationale)
+    (sarif_level r.Rules.severity)
+
+let sarif_result (f : Engine.finding) =
+  let rule_index =
+    let rec idx i = function
+      | [] -> None
+      | (r : Rules.rule) :: _ when r.Rules.id = f.Engine.rule -> Some i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 Rules.all
+  in
+  let text =
+    match f.Engine.chain with
+    | [] -> f.Engine.message
+    | chain ->
+      f.Engine.message ^ "\ncall chain: " ^ String.concat " -> " chain
+  in
+  Printf.sprintf
+    {|{"ruleId":"%s"%s,"level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (json_escape f.Engine.rule)
+    (match rule_index with
+     | Some i -> Printf.sprintf {|,"ruleIndex":%d|} i
+     | None -> "")
+    (sarif_level f.Engine.severity)
+    (json_escape text)
+    (json_escape f.Engine.file)
+    f.Engine.line
+    (f.Engine.col + 1)  (* SARIF columns are 1-based; ours are 0-based *)
+
+let print_sarif ppf findings =
+  Format.fprintf ppf
+    {|{"version":"%s","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"ncc_lint","informationUri":"https://github.com/ncc-repro","rules":[%s]}},"results":[%s]}]}|}
+    sarif_version
+    (String.concat "," (List.map sarif_rule Rules.all))
+    (String.concat "," (List.map sarif_result findings));
+  Format.fprintf ppf "@."
+
+(* --- waiver inventory --------------------------------------------------- *)
+
+(* Every waiver pragma in a set of sources, in deterministic
+   file-then-line order: the [--waivers] subcommand, so reviewers can
+   audit what is being excused and why without grepping. *)
+
+let print_waivers ppf (items : (string * Pragma.t) list) =
+  let items =
+    List.sort
+      (fun (fa, (pa : Pragma.t)) (fb, (pb : Pragma.t)) ->
+        let c = String.compare fa fb in
+        if c <> 0 then c else Int.compare pa.Pragma.line pb.Pragma.line)
+      items
+  in
+  List.iter
+    (fun (file, (p : Pragma.t)) ->
+      Format.fprintf ppf "%s:%d: allow %s \xe2\x80\x94 %s@." file p.Pragma.line
+        (String.concat ", " p.Pragma.rules)
+        p.Pragma.reason)
+    items;
+  Format.fprintf ppf "ncc_lint: %d waiver%s@." (List.length items)
+    (if List.length items = 1 then "" else "s")

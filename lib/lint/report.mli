@@ -13,3 +13,15 @@ val schema_version : int
 
 val json_finding : Engine.finding -> string
 val print_json : Format.formatter -> Engine.finding list -> unit
+
+(* SARIF 2.1.0 (code-scanning upload format): one run, driver rule
+   table from Rules.all in registry order, results with 1-based
+   columns and chains folded into the message text. Deterministic;
+   pinned byte-for-byte by a golden test. *)
+val sarif_version : string
+val sarif_result : Engine.finding -> string
+val print_sarif : Format.formatter -> Engine.finding list -> unit
+
+(* The [--waivers] inventory: every pragma as "file:line: allow RULES
+   — reason", sorted by file then line, with a trailing count. *)
+val print_waivers : Format.formatter -> (string * Pragma.t) list -> unit

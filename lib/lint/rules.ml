@@ -56,6 +56,29 @@
          pool can never reach — the "domain-local" value degenerates
          to a plain global of the main domain.
 
+   The allocation plane R16-R19 (Alloc_engine, also .cmt-based) is the
+   performance-oriented set: it polices the simulator's hot paths — the
+   Hotpaths seed registry plus anything carrying an [@ncc.hot]
+   attribute — where per-event and per-message allocation is what
+   cluster-scale sweeps (ROADMAP item 1) pay for:
+
+     R16 boxed-float traffic in a hot function: a float ref, a float
+         flowing into a tuple / option / list / variant payload, a
+         float record field in a non-float (mixed) record — each is a
+         heap box per write on the time-arithmetic path;
+     R17 per-call allocation in a hot function: a closure literal
+         built inside a hot loop or handed to a scheduling sink
+         (Engine.schedule, Pool.submit), tuple / Some / :: construction
+         on the dispatch path, Printf/Format/string building;
+     R18 hotness propagation: an R16/R17-class site in a function that
+         is only *transitively* hot — reachable from a hot entry over
+         the call graph — fires as R18 with the BFS chain from the
+         entry as evidence, so annotations stay sparse;
+     R19 hot-annotation hygiene: an [@ncc.hot] attribute on a
+         non-function binding, or on code nothing in the linted tree
+         references (a dangling hot claim). Unused [allow R16-R18]
+         waivers surface through the standard pragma machinery.
+
    A rule names either forbidden identifier prefixes or exact forbidden
    identifiers, selects one of two structural checks (top-level
    mutable state, wildcard exception handlers), or selects one of the
@@ -75,6 +98,10 @@ type typed_check =
   | Atomic_mixed  (* R13 *)
   | Lock_discipline  (* R14 *)
   | Dls_misuse  (* R15 *)
+  | Boxed_float  (* R16 *)
+  | Hot_alloc  (* R17 *)
+  | Hot_propagation  (* R18 *)
+  | Hot_hygiene  (* R19 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -335,6 +362,75 @@ let all : rule list =
       matcher = Typed Dls_misuse;
       allowed_files = [];
     };
+    {
+      id = "R16";
+      severity = Error;
+      summary = "boxed-float traffic in a hot function";
+      rationale =
+        "OCaml boxes every float that leaves flat storage: a float ref, a \
+         float tuple or option component, a variant payload, and any float \
+         field of a mixed (non-all-float) record each cost one heap \
+         allocation per write. On the hot paths — the event heap, the clock \
+         arithmetic, per-message dispatch — that box is paid per simulated \
+         event. Keep hot floats in flat float arrays, all-float records, or \
+         plain immediates (integer nanoseconds).";
+      example =
+        "let[@ncc.hot] step t dt =\n  let acc = ref 0.0 in\n  acc := !acc +. dt;\n  (t, !acc)  (* float ref + float tuple: two boxes per call *)";
+      matcher = Typed Boxed_float;
+      allowed_files = [];
+    };
+    {
+      id = "R17";
+      severity = Error;
+      summary = "per-call allocation in a hot function";
+      rationale =
+        "A hot function runs once per simulated event or message; any \
+         allocation in it multiplies by the event count. The rule flags the \
+         recurrent shapes: a closure literal built inside a hot loop or \
+         handed to a scheduling sink (Engine.schedule, Pool.submit), tuple \
+         / Some / :: construction on the dispatch path, and Printf/Format/ \
+         string building. The finding names the allocating expression and \
+         its hot entry point. Inherent allocations (a delivery thunk that \
+         *is* the event) carry a reasoned waiver.";
+      example =
+        "let[@ncc.hot] pop t =\n  Some (t.prio, t.payload)  (* option + tuple per event *)";
+      matcher = Typed Hot_alloc;
+      allowed_files = [];
+    };
+    {
+      id = "R18";
+      severity = Error;
+      summary = "allocation in a function transitively reachable from a hot \
+                 entry";
+      rationale =
+        "Hotness is contagious: a helper three calls below Engine.run runs \
+         just as often as Engine.run. The analysis propagates hotness over \
+         the same call graph R9 and R12 use and fires R18 — with the \
+         deterministic BFS chain from the hot entry as evidence — for any \
+         R16/R17-class site in a function that is only transitively hot, \
+         so the [@ncc.hot] annotations and the seed registry stay sparse. \
+         Waive at the allocation site, or break the edge.";
+      example =
+        "let helper x = Some x  (* not annotated *)\nlet[@ncc.hot] entry x = helper x  (* chain: entry -> helper *)";
+      matcher = Typed Hot_propagation;
+      allowed_files = [];
+    };
+    {
+      id = "R19";
+      severity = Error;
+      summary = "dangling [@ncc.hot] annotation";
+      rationale =
+        "A hot annotation is a claim the analysis acts on; a stale one \
+         silently widens or misdirects the checked region. R19 fires on \
+         [@ncc.hot] attached to a non-function binding (nothing to \
+         propagate from) and on an annotated function that nothing in the \
+         linted tree references and no seed names — dead code carrying a \
+         hot claim. The companion check, unused [allow R16-R18] waivers, \
+         surfaces through the standard pragma machinery.";
+      example = "let[@ncc.hot] tuning = 0.99  (* a constant is never hot *)";
+      matcher = Typed Hot_hygiene;
+      allowed_files = [];
+    };
   ]
 
 (* Retired rule ids, mapped onto the rule that absorbed them. R11
@@ -467,3 +563,35 @@ let slot_index_sources = [ "Atomic.fetch_and_add" ]
 
 (* R15: touching a DLS value (creating a key is fine anywhere). *)
 let dls_fns = [ "Domain.DLS.get"; "Domain.DLS.set" ]
+
+(* R16-R19: the attribute that marks a declaration hot ([@ncc.hot]);
+   the Hotpaths module holds the seed list of always-hot entry points. *)
+let hot_attribute = "ncc.hot"
+
+(* R16/R17 cold regions: a conditional guarded by one of these is the
+   disabled-by-default diagnostics path — allocations under the guard
+   run only when tracing is on, so they are exempt. Matched by
+   whole-component suffix. *)
+let cold_guard_fns = [ "Sim.Trace.active"; "Trace.active" ]
+
+(* R16/R17 cold regions: matching an option of one of these types is
+   the observability plane's attached-recorder test; the Some branch
+   runs only in traced runs. Matched by type-path suffix. *)
+let cold_option_types = [ "Recorder.t" ]
+
+(* R17: string building — each call allocates at least the result. *)
+let string_build_fns =
+  [
+    "Printf.sprintf"; "Printf.ksprintf"; "Format.sprintf"; "Format.asprintf";
+    "Format.kasprintf"; "String.concat"; "String.make"; "String.init";
+    "Bytes.to_string"; "^";
+  ]
+
+(* R17: sinks whose closure argument is allocated per call — handing a
+   function literal to one of these in a hot function builds a fresh
+   closure every time (the spawn entry points, plus the event
+   scheduler). Matched by whole-component suffix. *)
+let closure_sink_fns =
+  spawn_fns
+  @ [ "Sim.Engine.schedule"; "Engine.schedule"; "Sim.Engine.schedule_at";
+      "Engine.schedule_at" ]

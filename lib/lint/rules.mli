@@ -1,12 +1,13 @@
-(* The determinism rule set R1-R10 plus the race plane R12-R15,
-   encoded as data, plus the registries the typed rules key on.
-   docs/determinism.md is the prose counterpart. *)
+(* The determinism rule set R1-R10 plus the race plane R12-R15 and the
+   allocation plane R16-R19, encoded as data, plus the registries the
+   typed rules key on. docs/determinism.md and docs/performance.md are
+   the prose counterparts. *)
 
 type severity = Error | Warn
 
 (* Which typed (cmt-based) check a [Typed _] rule dispatches to; the
    parsetree engine ignores these. Typed_engine implements R7-R10,
-   Race_engine implements R12-R15. *)
+   Race_engine implements R12-R15, Alloc_engine implements R16-R19. *)
 type typed_check =
   | Poly_compare  (* R7 *)
   | Float_time  (* R8 *)
@@ -16,6 +17,10 @@ type typed_check =
   | Atomic_mixed  (* R13 *)
   | Lock_discipline  (* R14 *)
   | Dls_misuse  (* R15 *)
+  | Boxed_float  (* R16 *)
+  | Hot_alloc  (* R17 *)
+  | Hot_propagation  (* R18 *)
+  | Hot_hygiene  (* R19 *)
 
 type matcher =
   | Forbid_prefixes of string list
@@ -96,3 +101,20 @@ val slot_index_sources : string list
 
 (* R15: the DLS access points (creating a key is fine anywhere). *)
 val dls_fns : string list
+
+(* R16-R19: the attribute name marking a declaration hot ([@ncc.hot];
+   the Hotpaths module holds the seed list of always-hot entries). *)
+val hot_attribute : string
+
+(* R16/R17 cold regions: guard functions whose true-branch is the
+   disabled-by-default tracing path, and option types whose Some match
+   is the attached-recorder test of the observability plane. *)
+val cold_guard_fns : string list
+val cold_option_types : string list
+
+(* R17: string-building functions (each call allocates the result). *)
+val string_build_fns : string list
+
+(* R17: sinks whose function-literal argument is a fresh closure per
+   call (spawn entry points plus the event scheduler). *)
+val closure_sink_fns : string list

@@ -694,7 +694,21 @@ let lint_units ?only units =
            })
          ctxs)
   in
-  ( List.sort Engine.compare_findings (race_findings @ acc.k_findings),
+  (* the allocation plane (R16-R19) likewise; its findings all anchor
+     on real source lines, so it contributes no synthetic used-sites *)
+  let alloc_findings =
+    Alloc_engine.lint_units ?only
+      (List.map
+         (fun (u, _) ->
+           {
+             Alloc_engine.a_prefix = split_mangled u.u_name;
+             a_file = u.u_file;
+             a_str = u.u_str;
+           })
+         ctxs)
+  in
+  ( List.sort Engine.compare_findings
+      (alloc_findings @ race_findings @ acc.k_findings),
     race_used @ acc.k_used )
 
 (* --- loading units ----------------------------------------------------- *)
@@ -737,7 +751,7 @@ let load_cmt path =
              })
     | _ -> Ok None)
 
-let lint_cmts ?only paths =
+let load_units paths =
   let errs = ref [] in
   let seen = Hashtbl.create 64 in
   let units =
@@ -766,8 +780,26 @@ let lint_cmts ?only paths =
           None)
       (List.sort String.compare paths)
   in
+  (units, List.rev !errs)
+
+let lint_cmts ?only paths =
+  let units, errs = load_units paths in
   let findings, used = lint_units ?only units in
-  (List.sort Engine.compare_findings (!errs @ findings), used)
+  (List.sort Engine.compare_findings (errs @ findings), used)
+
+(* The allocation plane alone over pre-loaded units: the bench's
+   [lint.alloc] micro row times the analyzer without re-reading cmts
+   or re-running the other planes. *)
+let alloc_pass ?only units =
+  Alloc_engine.lint_units ?only
+    (List.map
+       (fun u ->
+         {
+           Alloc_engine.a_prefix = split_mangled u.u_name;
+           a_file = u.u_file;
+           a_str = u.u_str;
+         })
+       units)
 
 (* --- in-process typechecking (fixture tests) --------------------------- *)
 

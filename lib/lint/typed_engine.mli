@@ -1,7 +1,8 @@
 (* The type-aware analysis engine: rules R7-R10 over the compiler's
    typedtree, loaded from the .cmt files dune produces, plus the race
-   plane R12-R15 (Race_engine), which runs over the same unit set and
-   whose findings are merged here. Findings are Engine.finding values
+   plane R12-R15 (Race_engine) and the allocation plane R16-R19
+   (Alloc_engine), which run over the same unit set and whose findings
+   are merged here. Findings are Engine.finding values
    so the waiver and reporter machinery applies unchanged; R9/R12/R14
    findings carry the call chain to the effect site in
    [Engine.finding.chain].
@@ -31,6 +32,15 @@ val lint_units :
    library-wrapper shims are skipped) and analyse them. *)
 val lint_cmts :
   ?only:string list -> string list -> Engine.finding list * (string * int) list
+
+(* Load the given .cmt files without analysing them — the bench times
+   cmt loading and the analysis planes separately. Unreadable paths
+   surface as "cmt" pseudo-rule findings in the second component. *)
+val load_units : string list -> unit_info list * Engine.finding list
+
+(* The allocation plane (R16-R19) alone over pre-loaded units; the
+   bench's [lint.alloc] micro row. *)
+val alloc_pass : ?only:string list -> unit_info list -> Engine.finding list
 
 (* Typecheck one implementation against the compiler's initial
    environment (stdlib only) and wrap it as a unit — how the fixture

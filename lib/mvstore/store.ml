@@ -258,11 +258,13 @@ let find_at c ~ts =
 
 (* Latest version (committed or undecided) with tw <= ts. Timestamps
    below the initial version (possible with negatively skewed clocks)
-   resolve to the chain terminator. *)
+   resolve to the chain terminator, so the lookup is total — no option
+   (the old [version option] return allocated a Some per read on the
+   hot path, and every caller's None branch was dead code). *)
 let version_at t key ~ts =
   let c = chain t key in
   let i = find_at c ~ts in
-  Some (if i >= 0 then c.vs.(i) else c.vs.(0))
+  if i >= 0 then c.vs.(i) else c.vs.(0)
 
 (* Insert a version in tw order (MVTO writes can land mid-chain). *)
 let insert_ordered t key value ~tw ~writer =

@@ -69,8 +69,9 @@ val next_version : t -> Types.key -> version -> version option
     predecessors are unlinked, so this is the live predecessor). *)
 val prev_version : t -> Types.key -> version -> version option
 
-(** Latest version (any status) with [tw <= ts]. *)
-val version_at : t -> Types.key -> ts:Ts.t -> version option
+(** Latest version (any status) with [tw <= ts]. Total: timestamps
+    below the initial version resolve to the chain terminator. *)
+val version_at : t -> Types.key -> ts:Ts.t -> version
 
 (** Insert an undecided version in tw order (MVTO writes). *)
 val insert_ordered : t -> Types.key -> Types.value -> tw:Ts.t -> writer:int -> version

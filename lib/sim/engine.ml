@@ -1,48 +1,57 @@
 (* The discrete-event simulation core: a virtual clock and an ordered
    queue of pending events (thunks). Time is in seconds (float). Events
    scheduled for the same instant run in scheduling order, so a run is a
-   pure function of the seed and the initial events. *)
+   pure function of the seed and the initial events.
+
+   The clock lives in a one-element [float array] rather than a mutable
+   record field: in a mixed record every write to a float field boxes
+   the float (R16), and the loop writes the clock once per event. A
+   flat float array stores it unboxed. *)
 
 type t = {
-  mutable now : float;
+  now : float array;  (* single cell: unboxed current time *)
   events : (unit -> unit) Heap.t;
   mutable stopped : bool;
   mutable executed : int;
 }
 
-let create () = { now = 0.0; events = Heap.create (); stopped = false; executed = 0 }
+let create () =
+  { now = [| 0.0 |]; events = Heap.create (); stopped = false; executed = 0 }
 
-let now t = t.now
+let now t = t.now.(0)
 
 let executed_events t = t.executed
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.events (t.now +. delay) f
+  Heap.push t.events (t.now.(0) +. delay) f
 
 let schedule_at t ~time f =
-  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  if time < t.now.(0) then invalid_arg "Engine.schedule_at: time in the past";
   Heap.push t.events time f
 
 let stop t = t.stopped <- true
 
 (* Run until the queue drains, [until] passes, or [stop] is called. The
-   event whose time exceeds [until] is left in the queue. *)
+   event whose time exceeds [until] is left in the queue. The drain
+   uses is_empty/top_prio/pop_min, which allocate nothing per event;
+   the old peek_prio/pop pair built a float option plus a (float, fn)
+   tuple for every event delivered (R16/R17). *)
 let run ?until t =
   let horizon = match until with None -> Float.infinity | Some u -> u in
   let rec loop () =
     if t.stopped then ()
-    else
-      match Heap.peek_prio t.events with
-      | None -> ()
-      | Some time when time > horizon -> t.now <- horizon
-      | Some _ ->
-        (match Heap.pop t.events with
-         | None -> ()
-         | Some (time, f) ->
-           t.now <- time;
-           t.executed <- t.executed + 1;
-           f ();
-           loop ())
+    else if Heap.is_empty t.events then ()
+    else begin
+      let time = Heap.top_prio t.events in
+      if time > horizon then t.now.(0) <- horizon
+      else begin
+        let f = Heap.pop_min t.events in
+        t.now.(0) <- time;
+        t.executed <- t.executed + 1;
+        f ();
+        loop ()
+      end
+    end
   in
   loop ()

@@ -1,81 +1,116 @@
 (* A classic array-based binary min-heap, specialised to (priority,
    sequence, payload) triples. The sequence number makes the order of
    equal-priority elements deterministic (FIFO in insertion order),
-   which the simulator relies on for reproducibility. *)
+   which the simulator relies on for reproducibility.
 
-type 'a entry = { prio : float; seq : int; payload : 'a }
+   The layout is structure-of-arrays: priorities live in a flat
+   [float array], which OCaml stores unboxed, so a push writes the
+   priority without allocating. The previous entry-record layout
+   ({prio; seq; payload}) was a mixed record, which boxes its float
+   field — one heap block plus one float box per scheduled event
+   (R16). The bench's "heap churn boxed-entry ref" row keeps the
+   old layout for comparison. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;  (* flat storage: unboxed floats *)
+  mutable seqs : int array;
+  mutable data : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () =
+  { prios = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-(* ncc-lint: allow R8 — exact float tie falls through to the seq tie-breaker; a tolerance would reorder distinct deadlines *)
-let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let before t i j =
+  t.prios.(i) < t.prios.(j)
+  (* ncc-lint: allow R8 — exact float tie falls through to the seq tie-breaker; a tolerance would reorder distinct deadlines *)
+  || (t.prios.(i) = t.prios.(j) && t.seqs.(i) < t.seqs.(j))
 
-(* [fill] seeds the slots of a fresh backing array, so growing from
+let swap t i j =
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+(* [fill] seeds the slots of a fresh payload array, so growing from
    capacity 0 needs no pre-existing element and push order stays
    irrelevant to the representation. *)
 let grow t fill =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap fill in
-  Array.blit t.data 0 fresh 0 t.size;
-  t.data <- fresh
+  let fresh_p = Array.make new_cap 0.0 in
+  Array.blit t.prios 0 fresh_p 0 t.size;
+  t.prios <- fresh_p;
+  let fresh_s = Array.make new_cap 0 in
+  Array.blit t.seqs 0 fresh_s 0 t.size;
+  t.seqs <- fresh_s;
+  let fresh_d = Array.make new_cap fill in
+  Array.blit t.data 0 fresh_d 0 t.size;
+  t.data <- fresh_d
 
 let push t prio payload =
-  let e = { prio; seq = t.next_seq; payload } in
+  if t.size = Array.length t.data then grow t payload;
+  t.prios.(t.size) <- prio;
+  t.seqs.(t.size) <- t.next_seq;
+  t.data.(t.size) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.data then grow t e;
-  t.data.(t.size) <- e;
   t.size <- t.size + 1;
   (* sift up *)
   let rec up i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
-      if before t.data.(i) t.data.(parent) then begin
-        let tmp = t.data.(i) in
-        t.data.(i) <- t.data.(parent);
-        t.data.(parent) <- tmp;
+      if before t i parent then begin
+        swap t i parent;
         up parent
       end
     end
   in
   up (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0).payload
+let top_prio t =
+  if t.size = 0 then invalid_arg "Heap.top_prio: empty heap";
+  t.prios.(0)
 
-let peek_prio t = if t.size = 0 then None else Some t.data.(0).prio
+let pop_min t =
+  if t.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let payload = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.prios.(0) <- t.prios.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.data.(0) <- t.data.(t.size);
+    (* sift down *)
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < t.size && before t l !smallest then smallest := l;
+      if r < t.size && before t r !smallest then smallest := r;
+      if !smallest <> i then begin
+        swap t i !smallest;
+        down !smallest
+      end
+    in
+    down 0
+  end;
+  payload
 
+(* Allocating convenience wrapper (tests, drains that want the
+   priority too). The event loop uses is_empty/top_prio/pop_min
+   instead, which allocate nothing per event. *)
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      (* sift down *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i in
-        if l < t.size && before t.data.(l) t.data.(!smallest) then
-          smallest := l;
-        if r < t.size && before t.data.(r) t.data.(!smallest) then
-          smallest := r;
-        if !smallest <> i then begin
-          let tmp = t.data.(i) in
-          t.data.(i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some (top.prio, top.payload)
+    let prio = top_prio t in
+    let payload = pop_min t in
+    (* ncc-lint: allow R16, R17 — compat API: the option and the float tuple are the point; the non-allocating path is top_prio/pop_min *)
+    Some (prio, payload)
   end

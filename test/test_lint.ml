@@ -180,6 +180,112 @@ let json_golden () =
    ^ {|],"errors":1}|} ^ "\n")
     (Format.asprintf "%a" Lint.Report.print_json [ f ])
 
+(* Golden pin of the SARIF 2.1.0 output: byte-exact, because CI
+   uploads it to code scanning and a formatting wobble would churn
+   every annotation. One chained finding exercises ruleIndex, the
+   1-based column shift and the chain-in-message fold. *)
+let sarif_golden () =
+  Alcotest.(check string) "sarif version" "2.1.0" Lint.Report.sarif_version;
+  let f =
+    {
+      Lint.Engine.file = "lib/a.ml";
+      line = 3;
+      col = 4;
+      rule = "R18";
+      severity = Lint.Rules.Error;
+      message = "option construction in A.helper, which is hot via A.run";
+      chain = [ "A.run"; "A.helper" ];
+    }
+  in
+  let out = Format.asprintf "%a" Lint.Report.print_sarif [ f ] in
+  let rule_index =
+    let rec idx i = function
+      | [] -> Alcotest.fail "R18 not in Rules.all"
+      | (r : Lint.Rules.rule) :: _ when r.Lint.Rules.id = "R18" -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 Lint.Rules.all
+  in
+  Alcotest.(check string) "golden result object"
+    (Printf.sprintf
+       {|{"ruleId":"R18","ruleIndex":%d,"level":"error","message":{"text":"option construction in A.helper, which is hot via A.run\ncall chain: A.run -> A.helper"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"lib/a.ml"},"region":{"startLine":3,"startColumn":5}}}]}|}
+       rule_index)
+    (Lint.Report.sarif_result f);
+  Alcotest.(check bool) "document is one sarif run" true
+    (contains out
+       {|{"version":"2.1.0","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"ncc_lint"|});
+  Alcotest.(check bool) "driver rule table carries every rule id" true
+    (List.for_all
+       (fun (r : Lint.Rules.rule) ->
+         contains out (Printf.sprintf {|{"id":"%s",|} r.Lint.Rules.id))
+       Lint.Rules.all);
+  (* a pseudo-rule finding ("cmt") has no registry entry: no ruleIndex *)
+  let pseudo =
+    {
+      Lint.Engine.file = "x.cmt";
+      line = 1;
+      col = 0;
+      rule = "cmt";
+      severity = Lint.Rules.Error;
+      message = "cannot read cmt";
+      chain = [];
+    }
+  in
+  Alcotest.(check bool) "pseudo-rule results omit ruleIndex" true
+    (contains (Lint.Report.sarif_result pseudo) {|{"ruleId":"cmt","level":|})
+
+(* --explain coverage: every registered rule id — live rules and
+   retired aliases alike — must resolve to a rule with a non-empty
+   rationale and firing example, or the flag would die mid-print. *)
+let explain_coverage () =
+  List.iter
+    (fun id ->
+      match Lint.Rules.find id with
+      | None -> Alcotest.failf "known id %s has no rule (broken alias?)" id
+      | Some r ->
+        Alcotest.(check bool)
+          (id ^ " resolves to a live rule id") true
+          (List.exists
+             (fun (x : Lint.Rules.rule) -> x.Lint.Rules.id = r.Lint.Rules.id)
+             Lint.Rules.all);
+        Alcotest.(check bool) (id ^ " has a summary") false (r.summary = "");
+        Alcotest.(check bool) (id ^ " has a rationale") false (r.rationale = "");
+        Alcotest.(check bool) (id ^ " has a firing example") false
+          (r.example = ""))
+    Lint.Rules.known_ids;
+  (* the four allocation-plane rules are registered and alias R11
+     still resolves to the race plane *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " is registered") true
+        (List.mem id Lint.Rules.known_ids))
+    [ "R16"; "R17"; "R18"; "R19"; "R11" ];
+  Alcotest.(check string) "R11 aliases R12" "R12" (Lint.Rules.canon_id "R11")
+
+(* The --waivers inventory: deterministic file-then-line order, the
+   full rule list and reason per row, and a trailing count. *)
+let waiver_inventory () =
+  let scan file src =
+    List.filter_map
+      (function
+        | Lint.Pragma.Pragma p -> Some (file, p)
+        | Lint.Pragma.Malformed _ -> None)
+      (Lint.Pragma.scan src)
+  in
+  let items =
+    scan "lib/b.ml"
+      ("let x = 1\n" ^ kw ^ " allow R16, R17 — compat tuple *)\nlet y = 2\n")
+    @ scan "lib/a.ml" (kw ^ " allow R8 — tie-breaker *)\nlet z = 3.0\n")
+  in
+  Alcotest.(check string) "inventory rows sort by file then line"
+    ("lib/a.ml:1: allow R8 \xe2\x80\x94 tie-breaker\n"
+   ^ "lib/b.ml:2: allow R16, R17 \xe2\x80\x94 compat tuple\n"
+   ^ "ncc_lint: 2 waivers\n")
+    (Format.asprintf "%a" Lint.Report.print_waivers items);
+  Alcotest.(check string) "empty inventory still prints the count"
+    "ncc_lint: 0 waivers\n"
+    (Format.asprintf "%a" Lint.Report.print_waivers [])
+
 let suite =
   [
     Alcotest.test_case "rules fire" `Quick fires;
@@ -190,4 +296,7 @@ let suite =
     Alcotest.test_case "parse errors are findings" `Quick parse_error_is_finding;
     Alcotest.test_case "reporters" `Quick reporters;
     Alcotest.test_case "json schema golden" `Quick json_golden;
+    Alcotest.test_case "sarif golden" `Quick sarif_golden;
+    Alcotest.test_case "explain coverage" `Quick explain_coverage;
+    Alcotest.test_case "waiver inventory" `Quick waiver_inventory;
   ]

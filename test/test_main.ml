@@ -25,6 +25,7 @@ let () =
       ("lint", Test_lint.suite);
       ("typed-lint", Test_typed_lint.suite);
       ("race-lint", Test_race_lint.suite);
+      ("alloc-lint", Test_alloc_lint.suite);
       ("pool", Test_pool.suite);
       ("e2e", Test_e2e.suite);
     ]

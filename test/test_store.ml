@@ -79,11 +79,7 @@ let ordered_insert_and_version_at () =
   let c = Store.insert_ordered s 1 30 ~tw:(ts 30) ~writer:3 in
   let b = Store.insert_ordered s 1 20 ~tw:(ts 20) ~writer:2 in
   Alcotest.(check int) "head is ts30" c.Store.vid (Store.most_recent s 1).Store.vid;
-  let at t =
-    match Store.version_at s 1 ~ts:(ts t) with
-    | Some v -> v.Store.vid
-    | None -> -1
-  in
+  let at t = (Store.version_at s 1 ~ts:(ts t)).Store.vid in
   Alcotest.(check int) "at 15 -> a" a.Store.vid (at 15);
   Alcotest.(check int) "at 20 -> b" b.Store.vid (at 20);
   Alcotest.(check int) "at 99 -> c" c.Store.vid (at 99)
