@@ -313,6 +313,24 @@ let micro () =
              ignore (Sim.Rng.zipf_draw r z)
            done))
   in
+  (* Before/after pair for the atlas Zipf memo: a grid re-instantiates
+     the same (n, theta) table once per (protocol x seed) cell, and
+     each zipf_create pays the zeta partial sum over all n keys. The
+     memo hit — an assoc-list probe over the few distinct tables a
+     sweep ever holds — is what cells actually pay after the driver's
+     sequential prewarm. Sized at the atlas default key space. *)
+  let zipf_table_memo_hit =
+    let m = Atlas.Driver.Zipf_memo.create () in
+    ignore (Atlas.Driver.Zipf_memo.get m ~n:100_000 ~theta:0.8);
+    Test.make ~name:"atlas zipf table memo hit"
+      (Staged.stage (fun () ->
+           ignore (Atlas.Driver.Zipf_memo.get m ~n:100_000 ~theta:0.8)))
+  in
+  let zipf_table_create_ref =
+    Test.make ~name:"atlas zipf table create ref"
+      (Staged.stage (fun () ->
+           ignore (Sim.Rng.zipf_create ~n:100_000 ~theta:0.8)))
+  in
   (* Read lookup on a deep chain: the tw binary search that replaced
      the old linear version-list scan, next to an inline linear-scan
      reference over the same (tw, value) data for an in-binary
@@ -445,6 +463,8 @@ let micro () =
       trace_guarded;
       trace_eager_ref;
       zipf;
+      zipf_table_memo_hit;
+      zipf_table_create_ref;
       checker;
       checker_stream;
     ]

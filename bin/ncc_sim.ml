@@ -1,10 +1,11 @@
 (* ncc_sim: command-line driver for the NCC reproduction.
 
-     ncc_sim list                              protocols and workloads
+     ncc_sim list                              protocols, workloads, scenarios
      ncc_sim run -p NCC -w google-f1 -l 20000  one simulation, full stats
      ncc_sim run -p NCC --faults 7             ... under a seeded fault schedule
      ncc_sim chaos -p NCC --seeds 20           seeded chaos sweep, strict checks
      ncc_sim chaos -p NCC --replay 7           replay one chaos seed
+     ncc_sim atlas smoke --quick --jobs 4      scenario sweep -> phase diagram
      ncc_sim fig fig6a [--quick]               regenerate a paper figure
      ncc_sim trace -p NCC --out trace.json     traced run -> Chrome/Perfetto JSON
      ncc_sim profile -p NCC                    instrumented run -> metrics JSON *)
@@ -28,14 +29,16 @@ let protocols =
     ("NCC-R-def", Ncc_r.protocol_deferred);
   ]
 
-let workloads ~n_servers =
-  [
-    ("google-f1", fun () -> Workload.Google_f1.make ());
-    ("facebook-tao", fun () -> Workload.Facebook_tao.make ());
-    ("tpcc", fun () -> Workload.Tpcc.make ~n_servers ());
-    ("google-wf10", fun () -> Workload.Google_f1.make_wf ~write_fraction:0.10 ());
-    ("google-wf30", fun () -> Workload.Google_f1.make_wf ~write_fraction:0.30 ());
-  ]
+(* Workload lookup is case-insensitive and alias-tolerant ("tao",
+   "TAO" and "facebook-tao" all name the TAO workload) — see
+   Workload.Registry. Unknown names exit 2 with the valid list. *)
+let find_workload ~n_servers wname =
+  match Workload.Registry.find ~n_servers wname with
+  | Some mk -> mk
+  | None ->
+    Printf.eprintf "unknown workload %S (one of: %s)\n" wname
+      (String.concat ", " (Workload.Registry.names ~n_servers));
+    exit 2
 
 let figures =
   [
@@ -89,12 +92,13 @@ let resolve_jobs n = if n = 0 then Harness.Pool.cpu_count () else max 1 n
 (* --- list ------------------------------------------------------------- *)
 
 let list_cmd =
-  let doc = "List available protocols, workloads and figures." in
+  let doc = "List available protocols, workloads, figures and atlas scenarios." in
   let f () =
     Printf.printf "protocols: %s\n" (String.concat ", " (List.map fst protocols));
     Printf.printf "workloads: %s\n"
-      (String.concat ", " (List.map fst (workloads ~n_servers:8)));
-    Printf.printf "figures:   %s\n" (String.concat ", " (List.map fst figures))
+      (String.concat ", " (Workload.Registry.names ~n_servers:8));
+    Printf.printf "figures:   %s\n" (String.concat ", " (List.map fst figures));
+    Printf.printf "scenarios: %s\n" (String.concat ", " Atlas.Scenario.names)
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
 
@@ -201,13 +205,9 @@ let run_cmd =
   let f (pname, p) wname load n_servers n_clients duration seed replicas trace check
       check_window check_ceiling faults_seed drop dup request_timeout =
     if trace > 0 then Sim.Trace.enable ~capacity:(max 4096 trace) ();
-    match List.assoc_opt wname (workloads ~n_servers) with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" wname;
-      exit 2
-    | Some mk ->
-      let w = mk () in
-      let warmup = Harness.Runner.default.Harness.Runner.warmup in
+    let mk = find_workload ~n_servers wname in
+    let w = mk () in
+    let warmup = Harness.Runner.default.Harness.Runner.warmup in
       let faults =
         if faults_seed <> 0 then begin
           let topo =
@@ -373,12 +373,8 @@ let chaos_cmd =
       }
     in
     let allow_crashes = (not no_crashes) && replicas = 0 in
-    match List.assoc_opt wname (workloads ~n_servers:base.Harness.Runner.n_servers) with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" wname;
-      exit 2
-    | Some mk ->
-      (match replay with
+    let mk = find_workload ~n_servers:base.Harness.Runner.n_servers wname in
+    (match replay with
        | Some seed ->
          let r = Harness.Chaos.run ~allow_crashes ~base p (mk ()) ~seed in
          Format.printf "%a@.schedule: %a@." Harness.Chaos.pp_report r
@@ -410,6 +406,81 @@ let chaos_cmd =
     Term.(
       const f $ protocol $ workload $ seeds $ replay $ replicas $ no_crashes
       $ chaos_check $ jobs_arg)
+
+(* --- atlas -------------------------------------------------------------- *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let atlas_cmd =
+  let doc =
+    "Sweep a named scenario grid — (protocol x knob-point x seed) cells on \
+     the --jobs pool, every cell stream-checked — and emit the phase diagram \
+     as aligned text plus schema-versioned JSON (byte-identical for any \
+     --jobs). See docs/atlas.md and 'ncc_sim list' for scenarios."
+  in
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see 'ncc_sim list').")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shorter runs and lighter load per cell.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Output file for the phase-diagram JSON (default \
+             atlas_<scenario>.json).")
+  in
+  let seeds =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Override the scenario's seed list with seeds 1..N.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "check" ]
+          ~doc:
+            "Stream-check every cell ($(b,on), the default — violations \
+             surface as per-cell verdicts, never a sweep abort) or skip \
+             checking ($(b,off)).")
+  in
+  let f sname quick jobs out seeds check =
+    match Atlas.Scenario.find sname with
+    | None ->
+      Printf.eprintf "unknown scenario %S (one of: %s)\n" sname
+        (String.concat ", " Atlas.Scenario.names);
+      exit 2
+    | Some s ->
+      let seeds = Option.map (fun n -> List.init (max 1 n) (fun i -> i + 1)) seeds in
+      let sweep =
+        Atlas.Driver.run ~jobs:(resolve_jobs jobs) ~quick ~check ?seeds s
+      in
+      let diagram = Atlas.Diagram.reduce sweep in
+      print_string (Atlas.Report.text sweep diagram);
+      let path =
+        match out with
+        | Some p -> p
+        | None -> Printf.sprintf "atlas_%s.json" s.Atlas.Scenario.name
+      in
+      write_file path (Atlas.Report.json sweep diagram);
+      Printf.printf "wrote %s (%d cells, %d violations, schema v%d)\n" path
+        diagram.Atlas.Diagram.total_cells diagram.Atlas.Diagram.total_violations
+        Atlas.Report.schema_version
+  in
+  Cmd.v (Cmd.info "atlas" ~doc)
+    Term.(const f $ scenario_arg $ quick_arg $ jobs_arg $ out $ seeds $ check)
 
 (* --- trace / profile ---------------------------------------------------- *)
 
@@ -453,12 +524,8 @@ let obs_run_args =
     $ protocol $ workload $ load $ servers $ clients $ duration $ seed $ replicas)
 
 let obs_run (((pname : string), p), wname, load, n_servers, n_clients, duration, seed, replicas) =
-  match List.assoc_opt wname (workloads ~n_servers) with
-  | None ->
-    Printf.eprintf "unknown workload %S\n" wname;
-    exit 2
-  | Some mk ->
-    let cfg =
+  let mk = find_workload ~n_servers wname in
+  let cfg =
       {
         Harness.Runner.default with
         Harness.Runner.seed;
@@ -475,11 +542,6 @@ let obs_run (((pname : string), p), wname, load, n_servers, n_clients, duration,
     let mx = Obs.Metrics.create () in
     let result = Harness.Runner.run ~label:pname ~obs:rec_ ~metrics:mx p (mk ()) cfg in
     (result, rec_, mx)
-
-let write_file path s =
-  let oc = open_out path in
-  output_string oc s;
-  close_out oc
 
 let trace_cmd =
   let doc =
@@ -574,4 +636,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; chaos_cmd; fig_cmd; trace_cmd; profile_cmd ]))
+          [ list_cmd; run_cmd; chaos_cmd; atlas_cmd; fig_cmd; trace_cmd; profile_cmd ]))

@@ -1,0 +1,13 @@
+(** The protocol roster atlas scenarios select from: every
+    non-replicated protocol, ablations and the NCC-noRTC negative
+    control included. *)
+
+val all : (string * Harness.Protocol.t) list
+val names : string list
+
+(** Case-insensitive lookup by display name. *)
+val find : string -> Harness.Protocol.t option
+
+(** True for NCC and its ablations; the NCC-vs-best-baseline delta
+    compares against protocols outside this family. *)
+val is_ncc_family : string -> bool

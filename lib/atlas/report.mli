@@ -1,0 +1,11 @@
+(** Phase-diagram emission: schema-versioned deterministic JSON (via
+    {!Obs.Jsonw}) and aligned-text tables. Both are pure functions of
+    the sweep and diagram values — no timestamps, no host data — so
+    output is byte-identical between [--jobs N] and sequential runs. *)
+
+(** Bumped on any breaking change to the JSON document layout; pinned
+    by the golden test and asserted by CI on the smoke artifact. *)
+val schema_version : int
+
+val json : Driver.sweep -> Diagram.t -> string
+val text : Driver.sweep -> Diagram.t -> string

@@ -1,0 +1,140 @@
+(* Named scenario presets: a scenario is pure data — base point, axes,
+   protocol roster, seeds — so a sweep is reproducible from its name
+   (plus the --quick flag) alone. *)
+
+type t = {
+  name : string;
+  description : string;
+  base : Knob.point;
+  axes : Knob.axis list;
+  protocols : string list;  (* display names resolved via Protocols.find *)
+  seeds : int list;
+}
+
+(* The six strictly serializable protocols plus TAPIR-CC: the roster
+   for presets where run time matters more than roster width. *)
+let core_seven =
+  [ "NCC"; "NCC-RW"; "dOCC"; "d2PL-NW"; "d2PL-WW"; "Janus-CC"; "TAPIR-CC" ]
+
+(* CI's acceptance grid: 3 knobs x 2 values x 7 protocols on a small
+   cluster — wide enough to exercise every reporter feature, cheap
+   enough to sweep on every push. The key space is deliberately small
+   so contention (aborts, retries) separates the protocols; a sweep
+   below saturation with no conflicts would rank everyone equal. *)
+let smoke =
+  {
+    name = "smoke";
+    description =
+      "acceptance grid: Zipf skew x write fraction x clock skew, 7 protocols";
+    base =
+      {
+        Knob.default_point with
+        Knob.n_keys = 1_000;
+        n_servers = 4;
+        n_clients = 12;
+        load = 24_000.0;
+      };
+    axes =
+      [
+        Knob.Zipf_theta [ 0.6; 0.95 ];
+        Knob.Write_fraction [ 0.1; 0.5 ];
+        Knob.Clock_skew [ 0.0; 5e-3 ];
+      ];
+    protocols = core_seven;
+    seeds = [ 1 ];
+  }
+
+(* The CCBench question: where do protocol rankings invert as skew and
+   write fraction move? *)
+let contention =
+  {
+    name = "contention";
+    description = "Zipf skew x write fraction phase plane, all protocols";
+    base = Knob.default_point;
+    axes =
+      [
+        Knob.Zipf_theta [ 0.0; 0.5; 0.8; 0.99; 1.2 ];
+        Knob.Write_fraction [ 0.02; 0.1; 0.3; 0.5 ];
+      ];
+    protocols = Protocols.names;
+    seeds = [ 1; 2 ];
+  }
+
+(* Where natural consistency erodes: clock skew x latency regime under
+   contention, with the RTC/AAT ablations and the negative control in
+   the roster so the checker column shows *which* cells break. *)
+let skew =
+  {
+    name = "skew";
+    description =
+      "clock skew x latency regime under contention; includes NCC ablations \
+       and the noRTC negative control";
+    base =
+      { Knob.default_point with Knob.zipf_theta = 0.9; write_fraction = 0.3 };
+    axes =
+      [
+        Knob.Clock_skew [ 0.0; 1e-3; 5e-3; 20e-3 ];
+        Knob.Latency [ Knob.Lan; Knob.Datacenter; Knob.Wan ];
+      ];
+    protocols =
+      [ "NCC"; "NCC-RW"; "NCC-noAAT"; "NCC-noRTC"; "dOCC"; "d2PL-WW"; "TAPIR-CC" ];
+    seeds = [ 1; 2 ];
+  }
+
+let payload =
+  {
+    name = "payload";
+    description = "payload size x transaction size mix";
+    base = Knob.default_point;
+    axes =
+      [
+        Knob.Payload [ 64; 512; 4096 ];
+        Knob.Txn_keys [ (1, 2); (2, 8); (8, 16) ];
+      ];
+    protocols = core_seven;
+    seeds = [ 1 ];
+  }
+
+let scale =
+  {
+    name = "scale";
+    description = "cluster size x offered load";
+    base = Knob.default_point;
+    axes =
+      [
+        Knob.Servers [ 4; 8; 16 ];
+        Knob.Load [ 2_000.0; 6_000.0; 12_000.0 ];
+      ];
+    protocols = core_seven;
+    seeds = [ 1 ];
+  }
+
+let mixes =
+  {
+    name = "mixes";
+    description = "workload generator x Zipf skew (micro/hotspot/YCSB/RMW chains)";
+    base = Knob.default_point;
+    axes =
+      [
+        Knob.Workload
+          [
+            Knob.Micro_mix;
+            Knob.Hotspot { hot_keys = 16; hot_fraction = 0.6 };
+            Knob.Ycsb Workload.Ycsb.A;
+            Knob.Ycsb Workload.Ycsb.B;
+            Knob.Ycsb Workload.Ycsb.F;
+            Knob.Rmw_chain { chain_min = 2; chain_max = 6 };
+          ];
+        Knob.Zipf_theta [ 0.6; 0.99 ];
+      ];
+    protocols = core_seven;
+    seeds = [ 1 ];
+  }
+
+let all = [ smoke; contention; skew; payload; scale; mixes ]
+let names = List.map (fun s -> s.name) all
+
+(* Case-insensitive lookup, like protocols and workloads. *)
+let find name =
+  let ls = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.equal (String.lowercase_ascii s.name) ls) all

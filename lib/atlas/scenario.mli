@@ -1,0 +1,37 @@
+(** Named scenario presets. A scenario is pure data — base point, axes,
+    protocol roster, seeds — so any sweep is reproducible from its
+    name plus the quick flag. *)
+
+type t = {
+  name : string;
+  description : string;
+  base : Knob.point;
+  axes : Knob.axis list;
+  protocols : string list;
+      (** display names, resolved via {!Protocols.find} *)
+  seeds : int list;
+}
+
+(** CI acceptance grid: 3 knobs x 7 protocols. *)
+val smoke : t
+
+(** Zipf skew x write fraction, all protocols. *)
+val contention : t
+
+(** Clock skew x latency; ablations + negative control. *)
+val skew : t
+
+(** Payload size x txn size. *)
+val payload : t
+
+(** Cluster size x offered load. *)
+val scale : t
+
+(** Workload generator x Zipf skew. *)
+val mixes : t
+
+val all : t list
+val names : string list
+
+(** Case-insensitive lookup by name. *)
+val find : string -> t option

@@ -46,6 +46,14 @@ let seeds =
     (* Checker.Stream: the per-commit feed path. *)
     "Checker.Stream.observe_version";
     "Checker.Stream.observe_commit";
+    (* Atlas.Diagram: the phase-diagram reduce loops — run once per
+       (point x protocol) over every cell of a sweep, written as
+       allocation-free tail recursions precisely so they can sit
+       here. *)
+    "Atlas.Diagram.sum_from";
+    "Atlas.Diagram.mean";
+    "Atlas.Diagram.winner_from";
+    "Atlas.Diagram.winner_index";
   ]
 
 (* Does a node key name a seeded hot entry? *)

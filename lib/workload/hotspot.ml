@@ -1,0 +1,67 @@
+(* Hotspot workload: a fraction of operations target a small set of
+   hot keys, the rest spread uniformly over the cold remainder. This
+   models cache-line/celebrity contention more sharply than a Zipfian
+   curve: the hot set has uniform internal popularity, so every hot
+   key is equally fought over. *)
+
+open Kernel
+
+type params = {
+  n_keys : int;
+  hot_keys : int;          (* size of the hot set: keys [0, hot_keys) *)
+  hot_fraction : float;    (* probability an op targets the hot set *)
+  write_fraction : float;  (* probability an op is a write *)
+  ops_min : int;           (* ops per transaction *)
+  ops_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+  label : string;
+}
+
+let default =
+  {
+    n_keys = 100_000;
+    hot_keys = 16;
+    hot_fraction = 0.5;
+    write_fraction = 0.2;
+    ops_min = 1;
+    ops_max = 4;
+    value_bytes_mean = 256.0;
+    value_bytes_stddev = 64.0;
+    label = "hotspot";
+  }
+
+let make (p : params) : Harness.Workload_sig.t =
+  let hot = max 1 p.hot_keys in
+  let cold = max 1 (p.n_keys - hot) in
+  let gen rng ~client =
+    let bytes =
+      int_of_float
+        (Sim.Rng.gaussian rng ~mean:p.value_bytes_mean ~stddev:p.value_bytes_stddev)
+    in
+    let draw_key () =
+      if Sim.Rng.flip rng p.hot_fraction then Sim.Rng.int rng hot
+      else hot + Sim.Rng.int rng cold
+    in
+    let n = Sim.Rng.int_range rng p.ops_min p.ops_max in
+    (* distinct keys, with bounded retries: a txn wanting more distinct
+       hot keys than the hot set holds falls through to fewer ops *)
+    let rec draw acc left guard =
+      if left = 0 || guard = 0 then acc
+      else
+        let k = draw_key () in
+        if List.mem k acc then draw acc left (guard - 1)
+        else draw (k :: acc) (left - 1) guard
+    in
+    let keys = draw [] n (n * 20) in
+    let ops =
+      List.map
+        (fun k ->
+          if Sim.Rng.flip rng p.write_fraction then
+            Types.Write (k, Micro.fresh_value ())
+          else Types.Read k)
+        keys
+    in
+    Txn.make ~label:p.label ~bytes ~client [ ops ]
+  in
+  { Harness.Workload_sig.name = p.label; gen }

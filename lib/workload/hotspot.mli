@@ -1,0 +1,21 @@
+(** Hotspot workload: [hot_fraction] of ops land on the [hot_keys]
+    hottest keys (uniform within the hot set), the rest uniform over
+    the cold remainder. One-shot transactions of [ops_min..ops_max]
+    read/write ops. *)
+
+type params = {
+  n_keys : int;
+  hot_keys : int;          (** size of the hot set: keys [0, hot_keys) *)
+  hot_fraction : float;    (** probability an op targets the hot set *)
+  write_fraction : float;  (** probability an op is a write *)
+  ops_min : int;
+  ops_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+  label : string;
+}
+
+(** 100k keys, 16 hot keys taking 50% of ops, 20% writes. *)
+val default : params
+
+val make : params -> Harness.Workload_sig.t

@@ -42,8 +42,16 @@ let distinct_keys rng zipf n =
   in
   draw [] n (n * 20)
 
-let make (p : params) : Harness.Workload_sig.t =
-  let zipf = Sim.Rng.zipf_create ~n:p.n_keys ~theta:p.zipf_theta in
+let make ?zipf (p : params) : Harness.Workload_sig.t =
+  (* [?zipf] lets sweep drivers share one precomputed table across many
+     workload instances with the same (n_keys, theta) — the zeta
+     normalization in zipf_create is the expensive part. The caller
+     guarantees the table matches the params. *)
+  let zipf =
+    match zipf with
+    | Some z -> z
+    | None -> Sim.Rng.zipf_create ~n:p.n_keys ~theta:p.zipf_theta
+  in
   let gen rng ~client =
     let bytes =
       int_of_float

@@ -17,8 +17,18 @@ type params = {
   label : string;
 }
 
-val make : params -> Harness.Workload_sig.t
+(** [make ?zipf p] builds the workload. [?zipf] supplies a precomputed
+    Zipf table for [(p.n_keys, p.zipf_theta)] — sweep drivers that
+    instantiate many workloads over the same key space share one table
+    instead of paying the zeta normalization per instance (the atlas
+    driver memoizes these). *)
+val make : ?zipf:Sim.Rng.zipf -> params -> Harness.Workload_sig.t
 
 (** Globally unique write payload (lets the checker identify versions
     by value in examples). *)
 val fresh_value : unit -> int
+
+(** [distinct_keys rng zipf n]: up to [n] distinct Zipf-popular keys
+    for one transaction (bounded retries, so heavy skew over a tiny
+    key space cannot loop forever). Shared by the generator modules. *)
+val distinct_keys : Sim.Rng.t -> Sim.Rng.zipf -> int -> int list

@@ -1,0 +1,45 @@
+(* Workload registry: the one name -> factory table behind every CLI
+   subcommand. Lookup is case-insensitive and alias-tolerant ("tao"
+   names "facebook-tao"), matching the CLI's case-insensitive protocol
+   parsing; unknown names resolve to None so callers keep their own
+   exit-2-with-the-valid-list behavior.
+
+   Factories (not instances): workloads carry generator state (TPC-C's
+   order-id counters), so each run must construct its own. *)
+
+let builtin ~n_servers : (string * (unit -> Harness.Workload_sig.t)) list =
+  [
+    ("google-f1", fun () -> Google_f1.make ());
+    ("facebook-tao", fun () -> Facebook_tao.make ());
+    ("tpcc", fun () -> Tpcc.make ~n_servers ());
+    ("google-wf10", fun () -> Google_f1.make_wf ~write_fraction:0.10 ());
+    ("google-wf30", fun () -> Google_f1.make_wf ~write_fraction:0.30 ());
+    ("hotspot", fun () -> Hotspot.make Hotspot.default);
+    ("ycsb-a", fun () -> Ycsb.make ~mix:Ycsb.A Ycsb.default);
+    ("ycsb-b", fun () -> Ycsb.make ~mix:Ycsb.B Ycsb.default);
+    ("ycsb-c", fun () -> Ycsb.make ~mix:Ycsb.C Ycsb.default);
+    ("ycsb-f", fun () -> Ycsb.make ~mix:Ycsb.F Ycsb.default);
+    ("rmw-chain", fun () -> Rmw_chain.make Rmw_chain.default);
+  ]
+
+let aliases =
+  [
+    ("tao", "facebook-tao");
+    ("f1", "google-f1");
+    ("google", "google-f1");
+    ("tpc-c", "tpcc");
+    ("wf10", "google-wf10");
+    ("wf30", "google-wf30");
+    ("ycsb", "ycsb-a");
+    ("rmw", "rmw-chain");
+  ]
+
+let names ~n_servers = List.map fst (builtin ~n_servers)
+
+(* Canonical registry name for [name]: lowercased, aliases resolved.
+   The result may still be unknown — [find] is the authority. *)
+let canonical name =
+  let ls = String.lowercase_ascii name in
+  match List.assoc_opt ls aliases with Some c -> c | None -> ls
+
+let find ~n_servers name = List.assoc_opt (canonical name) (builtin ~n_servers)

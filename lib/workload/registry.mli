@@ -1,0 +1,18 @@
+(** Name -> workload-factory registry shared by the CLI subcommands.
+    Lookup is case-insensitive and alias-tolerant ("tao", "TAO" and
+    "facebook-tao" all name the TAO workload). Factories, not
+    instances: each run constructs its own workload so generator state
+    (TPC-C order ids) never leaks across runs. *)
+
+(** Canonical names, in display order. [n_servers] parameterizes
+    workloads that shard by server count (TPC-C warehouses). *)
+val names : n_servers:int -> string list
+
+(** Canonical registry name for a user-supplied spelling (lowercased,
+    aliases resolved); may still be unknown — {!find} is the
+    authority. *)
+val canonical : string -> string
+
+(** Case-insensitive, alias-tolerant lookup; [None] for unknown names
+    (callers print the valid list and exit 2). *)
+val find : n_servers:int -> string -> (unit -> Harness.Workload_sig.t) option

@@ -1,0 +1,54 @@
+(* Read-modify-write dependency chains: each transaction RMWs a run of
+   [chain_min..chain_max] consecutive keys starting at a Zipf-popular
+   head. Overlapping runs from concurrent transactions form write-write
+   and read-write dependency chains across servers — the worst case for
+   timestamp-ordering protocols and a strong probe for the
+   timestamp-inversion pitfall (a chain read and its write must stay
+   adjacent in the serial order). *)
+
+open Kernel
+
+type params = {
+  n_keys : int;
+  zipf_theta : float;  (* popularity of the chain head *)
+  chain_min : int;     (* keys RMW'd per transaction *)
+  chain_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+}
+
+let default =
+  {
+    n_keys = 100_000;
+    zipf_theta = 0.9;
+    chain_min = 2;
+    chain_max = 6;
+    value_bytes_mean = 256.0;
+    value_bytes_stddev = 64.0;
+  }
+
+let make ?zipf (p : params) : Harness.Workload_sig.t =
+  let zipf =
+    match zipf with
+    | Some z -> z
+    | None -> Sim.Rng.zipf_create ~n:p.n_keys ~theta:p.zipf_theta
+  in
+  let gen rng ~client =
+    let bytes =
+      int_of_float
+        (Sim.Rng.gaussian rng ~mean:p.value_bytes_mean ~stddev:p.value_bytes_stddev)
+    in
+    let len = min p.n_keys (Sim.Rng.int_range rng p.chain_min p.chain_max) in
+    let head = Sim.Rng.zipf_draw rng zipf in
+    (* consecutive keys wrap the key space; distinct as long as the
+       chain is no longer than the space (clamped above) *)
+    let ops =
+      List.concat_map
+        (fun i ->
+          let k = (head + i) mod p.n_keys in
+          [ Types.Read k; Types.Write (k, Micro.fresh_value ()) ])
+        (List.init len Fun.id)
+    in
+    Txn.make ~label:"rmw-chain" ~bytes ~client [ ops ]
+  in
+  { Harness.Workload_sig.name = "rmw-chain"; gen }

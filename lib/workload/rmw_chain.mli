@@ -1,0 +1,20 @@
+(** Read-modify-write dependency chains: each transaction reads and
+    rewrites a run of consecutive keys starting at a Zipf-popular head,
+    so concurrent transactions overlap into cross-server dependency
+    chains. *)
+
+type params = {
+  n_keys : int;
+  zipf_theta : float;  (** popularity of the chain head *)
+  chain_min : int;
+  chain_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+}
+
+(** 100k keys, 2–6 key chains, theta 0.9 heads. *)
+val default : params
+
+(** [make ?zipf p]: [?zipf] shares a precomputed table for
+    [(p.n_keys, p.zipf_theta)] across instances (see {!Micro.make}). *)
+val make : ?zipf:Sim.Rng.zipf -> params -> Harness.Workload_sig.t

@@ -1,0 +1,75 @@
+(* YCSB-style core mixes over a Zipfian key space, wrapped in one-shot
+   transactions of a few ops each (YCSB itself is single-op; grouping a
+   handful per transaction is what gives the concurrency-control layer
+   something to order).
+
+     A: 50% reads / 50% updates     (session store)
+     B: 95% reads /  5% updates     (photo tagging)
+     C: 100% reads                  (profile cache)
+     F: read-modify-write           (user database)
+
+   D and E need inserts/scans the key-value substrate doesn't model, so
+   they are deliberately absent. *)
+
+open Kernel
+
+type mix = A | B | C | F
+
+type params = {
+  n_keys : int;
+  zipf_theta : float;
+  ops_min : int;  (* ops per transaction *)
+  ops_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+}
+
+let default =
+  {
+    n_keys = 100_000;
+    zipf_theta = 0.99;  (* YCSB's canonical zipfian constant *)
+    ops_min = 1;
+    ops_max = 4;
+    value_bytes_mean = 256.0;
+    value_bytes_stddev = 64.0;
+  }
+
+let mix_name = function
+  | A -> "ycsb-a"
+  | B -> "ycsb-b"
+  | C -> "ycsb-c"
+  | F -> "ycsb-f"
+
+let read_fraction = function A -> 0.5 | B -> 0.95 | C -> 1.0 | F -> 1.0
+
+let make ?zipf ~mix (p : params) : Harness.Workload_sig.t =
+  let zipf =
+    match zipf with
+    | Some z -> z
+    | None -> Sim.Rng.zipf_create ~n:p.n_keys ~theta:p.zipf_theta
+  in
+  let name = mix_name mix in
+  let gen rng ~client =
+    let bytes =
+      int_of_float
+        (Sim.Rng.gaussian rng ~mean:p.value_bytes_mean ~stddev:p.value_bytes_stddev)
+    in
+    let n = Sim.Rng.int_range rng p.ops_min p.ops_max in
+    let keys = Micro.distinct_keys rng zipf n in
+    let ops =
+      match mix with
+      | F ->
+        (* every op is a read-modify-write of its key *)
+        List.concat_map
+          (fun k -> [ Types.Read k; Types.Write (k, Micro.fresh_value ()) ])
+          keys
+      | (A | B | C) as m ->
+        List.map
+          (fun k ->
+            if Sim.Rng.flip rng (read_fraction m) then Types.Read k
+            else Types.Write (k, Micro.fresh_value ()))
+          keys
+    in
+    Txn.make ~label:name ~bytes ~client [ ops ]
+  in
+  { Harness.Workload_sig.name; gen }

@@ -1,0 +1,24 @@
+(** YCSB-style core mixes (A/B/C/F) over a Zipfian key space, grouped
+    into one-shot transactions of [ops_min..ops_max] ops. A = 50/50
+    read/update, B = 95/5, C = read-only, F = read-modify-write. *)
+
+type mix = A | B | C | F
+
+type params = {
+  n_keys : int;
+  zipf_theta : float;
+  ops_min : int;
+  ops_max : int;
+  value_bytes_mean : float;
+  value_bytes_stddev : float;
+}
+
+(** 100k keys at YCSB's canonical theta 0.99, 1–4 ops per txn. *)
+val default : params
+
+(** "ycsb-a" .. "ycsb-f": also the workload's registry name. *)
+val mix_name : mix -> string
+
+(** [make ?zipf ~mix p]: [?zipf] shares a precomputed table for
+    [(p.n_keys, p.zipf_theta)] across instances (see {!Micro.make}). *)
+val make : ?zipf:Sim.Rng.zipf -> mix:mix -> params -> Harness.Workload_sig.t

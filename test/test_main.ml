@@ -28,4 +28,5 @@ let () =
       ("alloc-lint", Test_alloc_lint.suite);
       ("pool", Test_pool.suite);
       ("e2e", Test_e2e.suite);
+      ("atlas", Test_atlas.suite);
     ]
