@@ -186,6 +186,33 @@ module Heap_ref = struct
     end
 end
 
+(* In-binary "before" reference for the in-flight message arena: one
+   fresh delivery closure per message, capturing (src, msg) — the
+   discipline Cluster.Net's clean path used before delivery thunks
+   were parked in the freelist arena. Kept here, not in lib/, like
+   [Heap_ref]: the shipped code stays on the zero-allocation path
+   while BENCH_*.json keeps a before/after pair. The ref isolates the
+   allocation discipline (latency draw + closure + schedule +
+   handler); the net.arena row times the full dispatch path, which
+   does strictly more work per message yet allocates nothing. *)
+module Net_closure_ref = struct
+  type t = {
+    engine : Sim.Engine.t;
+    rng : Sim.Rng.t;
+    latency : Cluster.Latency.t;
+    mutable handler : src:int -> int -> unit;
+    mutable sent : int;
+  }
+
+  let create engine rng latency =
+    { engine; rng; latency; handler = (fun ~src:_ _ -> ()); sent = 0 }
+
+  let send t ~src ~dst msg =
+    t.sent <- t.sent + 1;
+    let delay = Cluster.Latency.sample t.rng t.latency ~src ~dst in
+    Sim.Engine.schedule t.engine ~delay (fun () -> t.handler ~src msg)
+end
+
 let micro () =
   let open Bechamel in
   let open Toolkit in
@@ -274,6 +301,92 @@ let micro () =
              match Heap_ref.pop h with
              | Some (_, v) -> Heap_ref.push h (float_of_int (i * 7919 mod 1000)) v
              | None -> ()
+           done))
+  in
+  (* Before/after rows for the tentpole scheduler change: steady-state
+     event churn (top_prio + pop_min + schedule) against a persistent
+     structure holding N pending events, at 1k / 100k / 1M. The heap
+     pays O(log n) sift per operation — ~20 levels at 1M — while the
+     wheel's slot insert and bucket drain are O(1) amortised, so the
+     gap must widen with N (the scale CI asserts the 1M pair). Each
+     pop reschedules at popped-prio + span, keeping density constant:
+     the workload every long open-loop run presents. Density matches
+     what a cluster-scale run holds: pending events are in-flight
+     messages and timers, all due within a few milliseconds of now
+     (one-way delays are ~100us-1ms), so 1M pending events span ~10ms
+     of virtual time — about 100 events per 1us tick. *)
+  let engine_churn =
+    List.concat_map
+      (fun (tag, n) ->
+        let span_ticks = max 256 (n / 100) in
+        let span = float_of_int span_ticks *. 1e-6 in
+        let prio i = float_of_int (i * 7919 mod span_ticks) *. 1e-6 in
+        let wheel =
+          let w = Sim.Wheel.create () in
+          for i = 1 to n do
+            Sim.Wheel.schedule w (prio i) i
+          done;
+          Test.make ~name:(Printf.sprintf "engine.wheel churn %s" tag)
+            (Staged.stage (fun () ->
+                 for _ = 1 to 100 do
+                   let p = Sim.Wheel.top_prio w in
+                   let v = Sim.Wheel.pop_min w in
+                   Sim.Wheel.schedule w (p +. span) v
+                 done))
+        in
+        let heap =
+          let h = Sim.Heap.create () in
+          for i = 1 to n do
+            Sim.Heap.push h (prio i) i
+          done;
+          Test.make ~name:(Printf.sprintf "engine.heap churn %s" tag)
+            (Staged.stage (fun () ->
+                 for _ = 1 to 100 do
+                   let p = Sim.Heap.top_prio h in
+                   let v = Sim.Heap.pop_min h in
+                   Sim.Heap.push h (p +. span) v
+                 done))
+        in
+        [ wheel; heap ])
+      [ ("1k", 1_000); ("100k", 100_000); ("1M", 1_000_000) ]
+  in
+  (* Before/after pair for the in-flight message arena: ping-pong one
+     message at a time through the real network runtime (send + full
+     dispatch, zero words allocated per message at steady state)
+     against [Net_closure_ref]'s fresh-closure-per-send discipline. *)
+  let net_arena =
+    let topo =
+      Cluster.Topology.make ~replicas_per_server:0 ~n_servers:1 ~n_clients:1 ()
+    in
+    let engine = Sim.Engine.create () in
+    let rng = Sim.Rng.create 1 in
+    let latency = Cluster.Latency.uniform ~one_way:1e-4 ~jitter_mean:1e-6 in
+    let net =
+      Cluster.Net.create engine rng topo ~latency
+        ~clock_of:(fun _ -> Sim.Clock.perfect)
+    in
+    let served = ref 0 in
+    Cluster.Net.set_handler net 0 ~cost:(fun _ -> 10e-6)
+      ~handler:(fun ~src:_ _ -> incr served);
+    Test.make ~name:"net.arena send+deliver x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             Cluster.Net.send net ~src:1 ~dst:0 i;
+             Sim.Engine.run engine
+           done))
+  in
+  let net_closure_ref =
+    let engine = Sim.Engine.create () in
+    let rng = Sim.Rng.create 1 in
+    let latency = Cluster.Latency.uniform ~one_way:1e-4 ~jitter_mean:1e-6 in
+    let t = Net_closure_ref.create engine rng latency in
+    let served = ref 0 in
+    t.Net_closure_ref.handler <- (fun ~src:_ _ -> incr served);
+    Test.make ~name:"net closure-per-send ref x100"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             Net_closure_ref.send t ~src:1 ~dst:0 i;
+             Sim.Engine.run engine
            done))
   in
   (* Before/after pair for the R17 net-trace fix: send_faulty's trace
@@ -460,6 +573,8 @@ let micro () =
       heap;
       heap_drain;
       heap_boxed_ref;
+      net_arena;
+      net_closure_ref;
       trace_guarded;
       trace_eager_ref;
       zipf;
@@ -468,6 +583,7 @@ let micro () =
       checker;
       checker_stream;
     ]
+    @ engine_churn
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instance = Instance.monotonic_clock in
@@ -493,6 +609,56 @@ let micro () =
         results;
       List.rev !rows)
     tests
+
+(* --- GC telemetry: allocation volume of a simulation run --------------- *)
+
+(* One NCC run per scheduler, reported as gc: rows from the runner's
+   GC gauges (minor words allocated, major collections, top heap
+   words). Host-dependent figures, like micro rows: allocation counts
+   shift with the compiler and runtime, so parity byte-diffs must
+   select experiments that exclude [gcstats]. The pair documents that
+   switching the event queue to the wheel does not regress allocation
+   while the run results themselves stay byte-identical. *)
+let gcstats () =
+  print_string "\n== GC telemetry (simulation runs) ==\n";
+  let s = scale () in
+  let base = Experiments.base_cfg s in
+  let base =
+    { base with Harness.Runner.offered_load = (if !quick then 4_000. else 10_000.) }
+  in
+  let mk =
+    match Workload.Registry.find ~n_servers:s.Experiments.n_servers "google-f1" with
+    | Some mk -> mk
+    | None -> failwith "gcstats: google-f1 workload missing"
+  in
+  List.map
+    (fun (name, sched) ->
+      let mx = Obs.Metrics.create () in
+      let r =
+        Harness.Runner.run ~label:"NCC" ~metrics:mx Ncc.protocol (mk ())
+          { base with Harness.Runner.sched }
+      in
+      let gauge g =
+        match List.assoc_opt (g, Obs.Metrics.run_scope) (Obs.Metrics.gauges mx) with
+        | Some v -> v
+        | None -> 0.0
+      in
+      let minor_words = gauge "gc.minor_words" in
+      let major = int_of_float (gauge "gc.major_collections") in
+      let top_heap = int_of_float (gauge "gc.top_heap_words") in
+      Printf.printf
+        "%-24s committed=%d  minor_words=%.3e  words/commit=%.0f  majors=%d  \
+         top_heap=%d\n"
+        name r.Harness.Runner.committed minor_words
+        (if r.Harness.Runner.committed = 0 then 0.0
+         else minor_words /. float_of_int r.Harness.Runner.committed)
+        major top_heap;
+      Harness.Report.gc_row ~experiment:name ~minor_words
+        ~major_collections:major ~top_heap_words:top_heap)
+    [
+      ("NCC:heap", Sim.Engine.Binary_heap);
+      ("NCC:wheel", Sim.Engine.Timing_wheel);
+    ]
 
 (* --- analyzer cost: the typed + race lint planes, timed --------------- *)
 
@@ -560,6 +726,7 @@ let all_experiments =
     ("replication", replication);
     ("geo", geo);
     ("micro", micro);
+    ("gcstats", gcstats);
     ("lint", lint);
   ]
 

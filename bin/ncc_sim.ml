@@ -308,6 +308,306 @@ let run_cmd =
       $ replicas $ trace $ check $ check_window $ check_ceiling $ faults_seed
       $ drop $ dup $ request_timeout)
 
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* --- scale -------------------------------------------------------------- *)
+
+let scale_cmd =
+  let doc =
+    "Cluster-scale open-loop run: 64+ servers, 10k+ clients, 10-100M offered \
+     transactions, stream-checked in bounded memory. Runs on the timing-wheel \
+     scheduler by default; results are byte-identical for any --jobs and \
+     either scheduler. Latency is the uniform model (the default per-pair \
+     asymmetric table is O(nodes^2) and unusable at this node count)."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, p) -> (n, (n, p))) protocols)) ("NCC", Ncc.protocol)
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Concurrency-control protocol.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "google-f1"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let servers =
+    Arg.(value & opt int 64 & info [ "servers" ] ~doc:"Number of servers.")
+  in
+  let clients =
+    Arg.(value & opt int 10_000 & info [ "clients" ] ~doc:"Number of open-loop clients.")
+  in
+  let txns =
+    Arg.(
+      value & opt float 1e6
+      & info [ "txns" ] ~docv:"N"
+          ~doc:
+            "Offered transactions over the measurement window (sets the \
+             simulated duration: N / load).")
+  in
+  let load =
+    Arg.(
+      value & opt float 0.0
+      & info [ "l"; "load" ] ~docv:"TXN/S"
+          ~doc:"Offered load, transactions/second (0 = 2000 x servers).")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("wheel", Sim.Engine.Timing_wheel);
+               ("heap", Sim.Engine.Binary_heap);
+             ])
+          Sim.Engine.Timing_wheel
+      & info [ "sched" ]
+          ~doc:
+            "Event queue: $(b,wheel) (O(1) amortised, the default here) or \
+             $(b,heap) (O(log n), the historical default elsewhere). Run \
+             results are byte-identical either way.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("constant", `Constant); ("diurnal", `Diurnal); ("bursty", `Bursty) ])
+          `Constant
+      & info [ "arrival" ]
+          ~doc:
+            "Arrival-rate curve: $(b,constant) (homogeneous Poisson), \
+             $(b,diurnal) (cosine day/night swing) or $(b,bursty) (periodic \
+             bursts at 4x the base rate).")
+  in
+  let curve_period =
+    Arg.(
+      value & opt float 0.0
+      & info [ "curve-period" ] ~docv:"SECONDS"
+          ~doc:
+            "Period of the diurnal/bursty curve (0 = one diurnal cycle per \
+             run, or ten bursts per run).")
+  in
+  let admission_cap =
+    Arg.(
+      value & opt int 0
+      & info [ "admission-cap" ] ~docv:"N"
+          ~doc:
+            "System-wide in-flight transaction ceiling; arrivals beyond it \
+             are shed (0 = unlimited).")
+  in
+  let hot_key_threshold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hot-key-threshold" ] ~docv:"SCORE"
+          ~doc:
+            "Shed arrivals touching keys whose decaying abort score exceeds \
+             SCORE (0 = off).")
+  in
+  let hot_key_halflife =
+    Arg.(
+      value & opt float 0.05
+      & info [ "hot-key-halflife" ] ~docv:"SECONDS"
+          ~doc:"Half-life of the hot-key abort score decay.")
+  in
+  let store_gc_period =
+    Arg.(
+      value & opt float 0.0
+      & info [ "store-gc" ] ~docv:"SECONDS"
+          ~doc:
+            "Truncate committed version chains on every server store this \
+             often, for bounded-memory long runs (0 = off; pair with --check \
+             on or off, never post).")
+  in
+  let store_gc_keep =
+    Arg.(
+      value & opt int 4
+      & info [ "store-gc-keep" ] ~docv:"N"
+          ~doc:"Committed versions kept per key by --store-gc.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt
+          (enum [ ("on", Harness.Runner.Streaming); ("off", Harness.Runner.No_check) ])
+          Harness.Runner.Streaming
+      & info [ "check" ]
+          ~doc:
+            "History check: $(b,on) (streaming, bounded memory, the default) \
+             or $(b,off). Post-hoc checking is deliberately not offered — it \
+             retains the full history.")
+  in
+  let check_window =
+    Arg.(
+      value & opt int 4096
+      & info [ "check-window" ] ~docv:"N"
+          ~doc:"Streaming check: commits per checker epoch (the GC window).")
+  in
+  let check_ceiling =
+    Arg.(
+      value & opt (some int) None
+      & info [ "check-ceiling" ] ~docv:"N"
+          ~doc:
+            "Fail (exit 1) if the checker's live-set high-water mark exceeds \
+             N. CI's memory-bound smoke uses this.")
+  in
+  let heap_ceiling_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "heap-ceiling-mb" ] ~docv:"MB"
+          ~doc:
+            "Fail (exit 1) if any run's top-of-heap (Gc top_heap_words, the \
+             RSS proxy) exceeds MB megabytes.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N" ~doc:"Run seeds 1..N (fanned over --jobs).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-seed results as JSON rows. Deterministic (host stats \
+             stay on stdout): byte-identical for any --jobs and either \
+             --sched.")
+  in
+  let f (pname, p) wname servers clients txns load sched arrival curve_period
+      admission_cap hot_key_threshold hot_key_halflife store_gc_period
+      store_gc_keep check check_window check_ceiling heap_ceiling_mb seeds out
+      jobs =
+    let load = if load > 0.0 then load else 2_000.0 *. float_of_int servers in
+    let duration = txns /. load in
+    let warmup = Float.min 0.5 (duration *. 0.05) in
+    let arrival =
+      match arrival with
+      | `Constant -> Harness.Runner.Constant
+      | `Diurnal ->
+        let period = if curve_period > 0.0 then curve_period else duration in
+        Harness.Runner.Diurnal { period; trough = 0.25 }
+      | `Bursty ->
+        let period =
+          if curve_period > 0.0 then curve_period else duration /. 10.0
+        in
+        Harness.Runner.Bursty
+          { period; burst_len = period /. 5.0; burst_mult = 4.0 }
+    in
+    let mk = find_workload ~n_servers:servers wname in
+    let cfg seed =
+      {
+        Harness.Runner.default with
+        Harness.Runner.seed;
+        n_servers = servers;
+        n_clients = clients;
+        offered_load = load;
+        duration;
+        warmup;
+        drain = warmup;
+        latency = Harness.Runner.Uniform { one_way = 250e-6; jitter = 25e-6 };
+        check;
+        check_window;
+        sched;
+        arrival;
+        admission_cap = (if admission_cap > 0 then Some admission_cap else None);
+        hot_key_shed =
+          (if hot_key_threshold > 0.0 then
+             Some
+               {
+                 Harness.Runner.shed_threshold = hot_key_threshold;
+                 shed_halflife = hot_key_halflife;
+               }
+           else None);
+        store_gc =
+          (if store_gc_period > 0.0 then Some (store_gc_period, store_gc_keep)
+           else None);
+      }
+    in
+    Printf.printf
+      "scale: %s on %s — %d servers, %d clients, %.3g txns offered (%.0f/s \
+       over %.2fs simulated)\n\
+       %!"
+      pname wname servers clients txns load duration;
+    let runs =
+      Harness.Pool.map
+        ~jobs:(resolve_jobs jobs)
+        (fun seed ->
+          let mx = Obs.Metrics.create () in
+          let r = Harness.Runner.run ~label:pname ~metrics:mx p (mk ()) (cfg seed) in
+          let g name =
+            match
+              List.assoc_opt (name, Obs.Metrics.run_scope) (Obs.Metrics.gauges mx)
+            with
+            | Some v -> v
+            | None -> 0.0
+          in
+          (seed, r, g "gc.top_heap_words", g "checker.live_high_water"))
+        (List.init (max 1 seeds) (fun i -> i + 1))
+    in
+    let worst_heap = ref 0.0 and worst_live = ref 0.0 and violated = ref false in
+    List.iter
+      (fun (seed, r, top_heap, live_hw) ->
+        Printf.printf
+          "seed %d: committed=%d (%.0f/s) gave_up=%d dropped=%d p50=%.2fms \
+           p99=%.2fms msgs/commit=%.1f check=%s\n"
+          seed r.Harness.Runner.committed r.Harness.Runner.throughput
+          r.Harness.Runner.gave_up r.Harness.Runner.dropped
+          (r.Harness.Runner.p50 *. 1e3)
+          (r.Harness.Runner.p99 *. 1e3)
+          r.Harness.Runner.msgs_per_commit r.Harness.Runner.check_result;
+        (match check with
+         | Harness.Runner.Streaming ->
+           Printf.printf "  checker live high-water %.0f\n" live_hw
+         | _ -> ());
+        (* host figure, deliberately not in --out: varies per machine *)
+        Printf.printf "  [host] top heap %.1f MB\n" (top_heap *. 8.0 /. 1e6);
+        worst_heap := Float.max !worst_heap top_heap;
+        worst_live := Float.max !worst_live live_hw;
+        let cr = r.Harness.Runner.check_result in
+        if String.length cr >= 9 && String.sub cr 0 9 = "VIOLATION" then
+          violated := true)
+      runs;
+    (match out with
+     | None -> ()
+     | Some path ->
+       let rows =
+         List.map
+           (fun (seed, r, _, _) ->
+             Harness.Report.bench_row
+               ~experiment:
+                 (Printf.sprintf "scale:%s:%s:%dx%d:s%d" pname wname servers
+                    clients seed)
+               r)
+           runs
+       in
+       write_file path (Harness.Report.bench_doc ~suite:"scale" rows);
+       Printf.printf "wrote %s (%d rows)\n" path (List.length rows));
+    if !violated then begin
+      Printf.eprintf "serializability violation detected\n";
+      exit 1
+    end;
+    (match check_ceiling with
+     | Some c when !worst_live > float_of_int c ->
+       Printf.eprintf "checker live set exceeded ceiling: %.0f > %d\n"
+         !worst_live c;
+       exit 1
+     | _ -> ());
+    match heap_ceiling_mb with
+    | Some mb when !worst_heap *. 8.0 /. 1e6 > float_of_int mb ->
+      Printf.eprintf "top heap exceeded ceiling: %.1f MB > %d MB\n"
+        (!worst_heap *. 8.0 /. 1e6)
+        mb;
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      const f $ protocol $ workload $ servers $ clients $ txns $ load $ sched
+      $ arrival $ curve_period $ admission_cap $ hot_key_threshold
+      $ hot_key_halflife $ store_gc_period $ store_gc_keep $ check
+      $ check_window $ check_ceiling $ heap_ceiling_mb $ seeds $ out $ jobs_arg)
+
 (* --- chaos -------------------------------------------------------------- *)
 
 let chaos_cmd =
@@ -408,11 +708,6 @@ let chaos_cmd =
       $ chaos_check $ jobs_arg)
 
 (* --- atlas -------------------------------------------------------------- *)
-
-let write_file path s =
-  let oc = open_out path in
-  output_string oc s;
-  close_out oc
 
 let atlas_cmd =
   let doc =
@@ -636,4 +931,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; chaos_cmd; atlas_cmd; fig_cmd; trace_cmd; profile_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            scale_cmd;
+            chaos_cmd;
+            atlas_cmd;
+            fig_cmd;
+            trace_cmd;
+            profile_cmd;
+          ]))

@@ -95,15 +95,23 @@ let payload =
     seeds = [ 1 ];
   }
 
+(* Cluster-scale phase plane: where does each protocol's ranking move
+   as servers, open-loop client population and offered load grow
+   together? Offered load is a separate axis (not tied to servers) so
+   the diagram shows both the under- and over-subscribed regimes at
+   every cluster size. Runs on the same stream-checked driver as every
+   scenario; `ncc_sim scale` is the single-point companion for the
+   10-100M-txn sizes this grid would be too wide for. *)
 let scale =
   {
     name = "scale";
-    description = "cluster size x offered load";
+    description = "cluster size x open-loop clients x offered load, to 64 servers";
     base = Knob.default_point;
     axes =
       [
-        Knob.Servers [ 4; 8; 16 ];
-        Knob.Load [ 2_000.0; 6_000.0; 12_000.0 ];
+        Knob.Servers [ 4; 8; 16; 32; 64 ];
+        Knob.Clients [ 24; 96; 384 ];
+        Knob.Load [ 2_000.0; 6_000.0; 12_000.0; 24_000.0 ];
       ];
     protocols = core_seven;
     seeds = [ 1 ];

@@ -114,6 +114,14 @@ let ib_pop ib =
   (* ncc-lint: allow R18 — one quad per serviced message on the faulty path; the fault-free fast path reads ring fields directly *)
   (src, msg, enq, was_queued)
 
+(* Discard the oldest slot without materialising it (the fault-free
+   completion path reads the head fields directly, then drops). *)
+let ib_drop ib =
+  let i = ib.ib_head in
+  (match ib.ib_dummy with Some d -> ib.ib_msgs.(i) <- d | None -> ());
+  ib.ib_head <- (i + 1) land (Array.length ib.ib_msgs - 1);
+  ib.ib_len <- ib.ib_len - 1
+
 (* Drop everything (crash): clears message slots so nothing is
    retained across the outage. *)
 let ib_clear ib =
@@ -178,6 +186,28 @@ type 'msg t = {
   mutable n_delayed : int;
   mutable n_crashes : int;
   mutable busy_time : float array;  (* per-node CPU seconds consumed *)
+  (* In-flight message arena (fault-free send path): the inbox ring's
+     SoA discipline extended to the network hop. A send claims a slot
+     off the freelist, parks (src, dst, flight, msg) in the parallel
+     arrays, and schedules the slot's *preallocated* delivery thunk —
+     so steady-state dispatch allocates no closure, flight record or
+     option per message where [send_clean] used to close over
+     (src, flight, node, msg) every time. (What remains per message is
+     a bounded handful of transient boxed floats from the non-flambda
+     calling convention — RNG draws, latency samples, schedule delays —
+     which the zero-alloc test pins to a small flat constant.)
+     Slots are released at delivery, before the handler runs, so
+     a handler's own sends can reuse them. The faulty path keeps
+     per-copy closures (duplicates make slot lifetime ambiguous, and
+     faults already allocate). *)
+  mutable fl_srcs : int array;
+  mutable fl_dsts : int array;
+  mutable fl_flights : int array;
+  mutable fl_msgs : 'msg array;
+  mutable fl_thunks : (unit -> unit) array;
+  mutable fl_free : int array;     (* stack of free slot indices *)
+  mutable fl_free_top : int;
+  mutable fl_dummy : 'msg option;  (* slot-clearing filler *)
 }
 
 (* Handler execution at service completion: trace, observability span,
@@ -246,7 +276,12 @@ let rec service t node =
   end
 
 and complete_fast t node () =
-  let src, msg, _enq, _was_queued = ib_pop node.inbox in
+  (* Read the ring head in place and drop it: the old ib_pop built a
+     (src, msg, enq, was_queued) quad per serviced message (R18). *)
+  let ib = node.inbox in
+  let i = ib.ib_head in
+  let src = ib.ib_srcs.(i) and msg = ib.ib_msgs.(i) in
+  ib_drop ib;
   finish_service t node ~src msg ~start:node.scratch.(0) ~c:node.scratch.(1);
   node.busy <- false;
   service t node
@@ -290,17 +325,75 @@ let flight_begin t ~src ~dst ~flight =
       ()
   | None -> ()
 
+(* Deliver the message parked in arena slot [i]. The slot is released
+   (and its message reference cleared) before [deliver] runs, so sends
+   made by the handler reuse it instead of growing the arena. *)
+let deliver_slot t i =
+  let src = t.fl_srcs.(i)
+  and dst = t.fl_dsts.(i)
+  and flight = t.fl_flights.(i)
+  and msg = t.fl_msgs.(i) in
+  (match t.fl_dummy with Some d -> t.fl_msgs.(i) <- d | None -> ());
+  t.fl_free.(t.fl_free_top) <- i;
+  t.fl_free_top <- t.fl_free_top + 1;
+  deliver t ~src ~flight t.nodes.(dst) msg
+
+(* Double the arena; the only place delivery thunks are allocated, so
+   once the arena has grown to the run's peak in-flight count a send
+   allocates no per-message structure at all. *)
+let fl_grow t msg =
+  let cap = Array.length t.fl_msgs in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  let srcs = Array.make ncap 0 in
+  Array.blit t.fl_srcs 0 srcs 0 cap;
+  t.fl_srcs <- srcs;
+  let dsts = Array.make ncap 0 in
+  Array.blit t.fl_dsts 0 dsts 0 cap;
+  t.fl_dsts <- dsts;
+  let flights = Array.make ncap 0 in
+  Array.blit t.fl_flights 0 flights 0 cap;
+  t.fl_flights <- flights;
+  let msgs = Array.make ncap msg in
+  Array.blit t.fl_msgs 0 msgs 0 cap;
+  t.fl_msgs <- msgs;
+  let thunks = Array.make ncap (fun () -> ()) in
+  Array.blit t.fl_thunks 0 thunks 0 cap;
+  for i = cap to ncap - 1 do
+    (* ncc-lint: allow R18 — amortised capacity doubling: the one place delivery thunks are built; steady-state sends reuse them *)
+    thunks.(i) <- (fun () -> deliver_slot t i)
+  done;
+  t.fl_thunks <- thunks;
+  let free = Array.make ncap 0 in
+  (* only the fresh slots are free (grow runs with the freelist empty);
+     stack them so the lowest index hands out first (cosmetic: keeps
+     slot numbers stable across runs) *)
+  for k = 0 to ncap - cap - 1 do
+    free.(k) <- ncap - 1 - k
+  done;
+  t.fl_free <- free;
+  t.fl_free_top <- ncap - cap
+
+let fl_alloc t msg =
+  (* ncc-lint: allow R18 — written once per arena lifetime: the first send seeds the slot-clearing dummy *)
+  (match t.fl_dummy with None -> t.fl_dummy <- Some msg | Some _ -> ());
+  if t.fl_free_top = 0 then fl_grow t msg;
+  let top = t.fl_free_top - 1 in
+  t.fl_free_top <- top;
+  t.fl_free.(top)
+
 let send_clean t ~src ~dst msg =
   let delay = Latency.sample t.net_rng t.latency ~src ~dst in
   if Sim.Trace.active () then
     Sim.Trace.emit ~time:(Sim.Engine.now t.net_engine) ~cat:"send"
       (Printf.sprintf "%d -> %d (arrives +%.0fus)" src dst (delay *. 1e6));
-  let node = t.nodes.(dst) in
   let flight = t.messages_sent in
   flight_begin t ~src ~dst ~flight;
-  (* ncc-lint: allow R17 — the delivery thunk is the scheduled event; one closure per in-flight message is the event-queue contract *)
-  Sim.Engine.schedule t.net_engine ~delay (fun () ->
-      deliver t ~src ~flight node msg)
+  let i = fl_alloc t msg in
+  t.fl_srcs.(i) <- src;
+  t.fl_dsts.(i) <- dst;
+  t.fl_flights.(i) <- flight;
+  t.fl_msgs.(i) <- msg;
+  Sim.Engine.schedule t.net_engine ~delay t.fl_thunks.(i)
 
 let send_faulty t ~src ~dst msg =
   let now = Sim.Engine.now t.net_engine in
@@ -452,6 +545,14 @@ let create ?(faults = Faults.none) ?obs engine rng topo ~latency ~clock_of =
         n_delayed = 0;
         n_crashes = 0;
         busy_time = Array.make n 0.0;
+        fl_srcs = [||];
+        fl_dsts = [||];
+        fl_flights = [||];
+        fl_msgs = [||];
+        fl_thunks = [||];
+        fl_free = [||];
+        fl_free_top = 0;
+        fl_dummy = None;
       }
   in
   let t = Lazy.force t in

@@ -51,6 +51,19 @@ let micro_row ~name ~ns_per_run =
   Jsonw.Obj
     [ ("experiment", Jsonw.Str ("micro:" ^ name)); ("ns_per_run", Jsonw.Float ns_per_run) ]
 
+(* GC telemetry for a simulation run: allocation volume and collector
+   pressure. Host-dependent like micro rows (allocation counts shift
+   with the compiler and runtime), so parity checks must skip gc rows
+   the same way they skip micro rows. *)
+let gc_row ~experiment ~minor_words ~major_collections ~top_heap_words =
+  Jsonw.Obj
+    [
+      ("experiment", Jsonw.Str ("gc:" ^ experiment));
+      ("minor_words", Jsonw.Float minor_words);
+      ("major_collections", Jsonw.Int major_collections);
+      ("top_heap_words", Jsonw.Int top_heap_words);
+    ]
+
 let bench_doc ~suite rows =
   Jsonw.to_string
     (Jsonw.Obj [ ("suite", Jsonw.Str suite); ("rows", Jsonw.List rows) ])

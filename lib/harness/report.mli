@@ -17,5 +17,16 @@ val bench_row : experiment:string -> Runner.result -> Obs.Jsonw.t
     of any byte-diff parity check). *)
 val micro_row : name:string -> ns_per_run:float -> Obs.Jsonw.t
 
+(** One GC-telemetry row for a simulation run (from the runner's
+    [gc.minor_words] / [gc.major_collections] / [gc.top_heap_words]
+    gauges). Host-dependent like micro rows — keep gc rows out of any
+    byte-diff parity check. *)
+val gc_row :
+  experiment:string ->
+  minor_words:float ->
+  major_collections:int ->
+  top_heap_words:int ->
+  Obs.Jsonw.t
+
 (** A whole BENCH_*.json document. *)
 val bench_doc : suite:string -> Obs.Jsonw.t list -> string

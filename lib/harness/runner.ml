@@ -19,6 +19,30 @@ type latency_spec =
    [check_async] is set, in bounded memory either way. *)
 type check_level = No_check | Serializable | Strict | Streaming
 
+(* Arrival-rate shape over simulated time. [Constant] is the
+   historical homogeneous Poisson process and draws exactly the
+   legacy RNG sequence; the other curves modulate the rate by a
+   deterministic multiplier m(t) via Lewis-Shedler thinning (draw
+   candidate gaps at the peak rate, accept with probability
+   m(t)/m_peak), so they are seed-reproducible like everything else. *)
+type arrival_curve =
+  | Constant
+  | Diurnal of { period : float; trough : float }
+      (* cosine day/night swing: multiplier 1.0 at peak, [trough] at
+         the bottom, one full cycle per [period] seconds *)
+  | Bursty of { period : float; burst_len : float; burst_mult : float }
+      (* every [period] seconds, [burst_len] seconds at [burst_mult]x
+         the base rate; 1.0x otherwise *)
+
+(* Decaying per-key conflict scoring for hot-key shedding: an abort
+   bumps each of the transaction's keys; an arrival whose hottest key
+   has decayed score above [shed_threshold] is shed at admission
+   (counted in [result.dropped] and the run.shed_hot_key gauge). *)
+type hot_key_spec = {
+  shed_threshold : float;
+  shed_halflife : float;  (* seconds for a key's score to halve *)
+}
+
 type config = {
   seed : int;
   n_servers : int;
@@ -41,6 +65,21 @@ type config = {
   replicas_per_server : int;    (* replica nodes per server (replicated protocols) *)
   request_timeout : float option;  (* per-attempt client timeout (None = never) *)
   faults : Cluster.Faults.spec;    (* injected network/node faults *)
+  sched : Sim.Engine.sched;
+      (* event-queue implementation; results are byte-identical either
+         way (pinned by the wheel/heap identity tests), the wheel is
+         O(1) per event for cluster-scale runs *)
+  arrival : arrival_curve;         (* arrival-rate shape (default Constant) *)
+  admission_cap : int option;
+      (* system-wide in-flight transaction ceiling; arrivals beyond it
+         are shed like the per-client back-off threshold (default None) *)
+  hot_key_shed : hot_key_spec option;  (* hot-key admission shedding *)
+  store_gc : (float * int) option;
+      (* Some (period, keep): truncate committed version chains on
+         every server store to [keep] versions every [period] simulated
+         seconds, for bounded-memory multi-million-txn runs. Pair with
+         Streaming or No_check — post-hoc checking needs the full
+         version order (default None) *)
 }
 
 let default =
@@ -66,6 +105,11 @@ let default =
     replicas_per_server = 0;
     request_timeout = None;
     faults = Cluster.Faults.none;
+    sched = Sim.Engine.Binary_heap;
+    arrival = Constant;
+    admission_cap = None;
+    hot_key_shed = None;
+    store_gc = None;
   }
 
 type result = {
@@ -96,7 +140,68 @@ type pending = {
   p_first_start : float;
   mutable p_attempt_start : float;
   mutable p_attempts : int;
+  mutable p_live : bool;  (* false once committed or given up *)
 }
+
+(* The streaming checker's watermark source: a lazy-deletion ring of
+   (attempt_start, pending) in push order. Attempt starts are recorded
+   at simulated [now], so pushes arrive in nondecreasing time order
+   and the first *valid* entry (still live, start unchanged by a
+   resubmit) is the minimum live attempt start — which is exactly what
+   the old per-commit fold over every client's inflight table computed
+   in O(n_clients). At 10k+ clients that fold dominated the commit
+   path; the ring answers in amortised O(1). *)
+type wm_ring = {
+  mutable r_starts : float array;  (* flat storage: unboxed floats *)
+  mutable r_ps : pending array;
+  mutable r_head : int;
+  mutable r_len : int;
+  mutable r_dummy : pending option;  (* slot-clearing filler *)
+}
+
+let ring_create () =
+  { r_starts = [||]; r_ps = [||]; r_head = 0; r_len = 0; r_dummy = None }
+
+let ring_grow r p =
+  let cap = Array.length r.r_ps in
+  let ncap = if cap = 0 then 1024 else cap * 2 in
+  let starts = Array.make ncap 0.0 in
+  let ps = Array.make ncap p in
+  for k = 0 to r.r_len - 1 do
+    let i = (r.r_head + k) land (cap - 1) in
+    starts.(k) <- r.r_starts.(i);
+    ps.(k) <- r.r_ps.(i)
+  done;
+  r.r_starts <- starts;
+  r.r_ps <- ps;
+  r.r_head <- 0
+
+let ring_push r start p =
+  (match r.r_dummy with None -> r.r_dummy <- Some p | Some _ -> ());
+  if r.r_len = Array.length r.r_ps then ring_grow r p;
+  let i = (r.r_head + r.r_len) land (Array.length r.r_ps - 1) in
+  r.r_starts.(i) <- start;
+  r.r_ps.(i) <- p;
+  r.r_len <- r.r_len + 1
+
+(* Minimum live attempt start, or [ifempty] when no attempt is in
+   flight. Stale heads (resolved transactions, resubmitted attempts)
+   are dropped as they surface. *)
+let rec ring_min r ~ifempty =
+  if r.r_len = 0 then ifempty
+  else begin
+    let i = r.r_head in
+    let p = r.r_ps.(i) in
+    let s = r.r_starts.(i) in
+    (* ncc-lint: allow R8 — exact equality detects a resubmit that re-stamped the same float; a tolerance would retire live attempts *)
+    if p.p_live && p.p_attempt_start = s then s
+    else begin
+      (match r.r_dummy with Some d -> r.r_ps.(i) <- d | None -> ());
+      r.r_head <- (i + 1) land (Array.length r.r_ps - 1);
+      r.r_len <- r.r_len - 1;
+      ring_min r ~ifempty
+    end
+  end
 
 let latency_model rng topo = function
   | Uniform { one_way; jitter } -> Cluster.Latency.uniform ~one_way ~jitter_mean:jitter
@@ -110,7 +215,7 @@ let latency_model rng topo = function
 let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t) cfg =
   Txn.reset_ids ();
   Mvstore.Store.reset_vids ();
-  let engine = Sim.Engine.create () in
+  let engine = Sim.Engine.create ~sched:cfg.sched () in
   let rng = Sim.Rng.create cfg.seed in
   let topo =
     Cluster.Topology.make ~replicas_per_server:cfg.replicas_per_server
@@ -171,7 +276,8 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
      so the worker replays exactly the synchronous schedule (and the
      verdict cannot depend on the mode). *)
   let n_nodes = Cluster.Topology.n_nodes topo in
-  let inflight_tabs : (int, pending) Hashtbl.t list ref = ref [] in
+  let streaming = cfg.check = Streaming in
+  let wm_ring = ring_create () in
   let wm_cell = ref Float.neg_infinity in
   let checker_node = n_nodes in
   let stream =
@@ -210,14 +316,10 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
   in
   (* Lower bound on the start time of every commit not yet fed to the
      checker: no in-flight attempt started earlier than its recorded
-     [p_attempt_start], and nothing submits before [now]. The min is
-     order-independent, but iterate sorted anyway (lint R8). *)
-  let watermark_now () =
-    List.fold_left
-      (fun acc tab ->
-        Detmap.fold_sorted (fun _ p acc -> Float.min acc p.p_attempt_start) tab acc)
-      (Sim.Engine.now engine) !inflight_tabs
-  in
+     [p_attempt_start], and nothing submits before [now]. The ring
+     answers in amortised O(1); the fold it replaced walked every
+     client's inflight table on every commit. *)
+  let watermark_now () = ring_min wm_ring ~ifempty:(Sim.Engine.now engine) in
   (* Busy-time snapshots at the window edges: utilization is measured
      over the measurement window, not diluted by warmup and drain. The
      snapshot events are installed unconditionally and draw no
@@ -266,8 +368,82 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
         ~cost:(fun m -> P.msg_cost cfg.cost m)
         ~handler:(fun ~src m -> P.replica_handle rep ~src m))
     (Cluster.Topology.replicas topo);
+  (* --- periodic store GC (bounded-memory multi-million-txn runs) ---
+     Truncates committed version chains on every server store. Draws no
+     randomness, so it cannot perturb the RNG streams; it only changes
+     which stale versions a late reader can still find. *)
+  let store_gc_runs = ref 0 in
+  (match cfg.store_gc with
+   | None -> ()
+   | Some (period, keep) ->
+     let rec gc_tick () =
+       List.iter
+         (fun (_, srv) ->
+           List.iter (fun st -> Mvstore.Store.gc ~keep st) (P.server_stores srv))
+         servers;
+       incr store_gc_runs;
+       Sim.Engine.schedule engine ~delay:period gc_tick
+     in
+     Sim.Engine.schedule engine ~delay:period gc_tick);
   (* --- clients --- *)
-  let all_clients = ref [] in
+  (* Clients live in a preallocated array indexed by
+     [Topology.client_index] (flat state discipline, like the net's
+     inbox rings): the old assoc list consed one pair per client and
+     was walked with List folds, which at 10k+ open-loop clients
+     scattered hot state across the heap. *)
+  let clients : (int * P.client) option array = Array.make cfg.n_clients None in
+  (* System-wide admission control: arrivals beyond [admission_cap]
+     in-flight transactions are shed like the per-client threshold. *)
+  let inflight_total = ref 0 in
+  let shed_admission = ref 0 and shed_hot_key = ref 0 in
+  let admit_capped () =
+    match cfg.admission_cap with
+    | Some cap -> !inflight_total >= cap
+    | None -> false
+  in
+  (* Hot-key shedding: decaying per-key conflict scores, bumped on
+     abort, consulted at admission. Scores decay lazily — each entry
+     stores (score, last-bump time) and is rescaled on touch. *)
+  let hot_score : (Types.key, float * float) Hashtbl.t = Hashtbl.create 512 in
+  let hot_decayed now key halflife =
+    match Hashtbl.find_opt hot_score key with
+    | None -> 0.0
+    | Some (s, t0) -> s *. (0.5 ** ((now -. t0) /. halflife))
+  in
+  let hot_bump now txn =
+    match cfg.hot_key_shed with
+    | None -> ()
+    | Some { shed_halflife; _ } ->
+      List.iter
+        (fun k ->
+          Hashtbl.replace hot_score k (hot_decayed now k shed_halflife +. 1.0, now))
+        (Txn.keys txn)
+  in
+  let hot_blocked now txn =
+    match cfg.hot_key_shed with
+    | None -> false
+    | Some { shed_threshold; shed_halflife } ->
+      List.exists
+        (fun k -> hot_decayed now k shed_halflife > shed_threshold)
+        (Txn.keys txn)
+  in
+  (* Arrival-rate curve: multiplier m(t) plus its peak, for
+     Lewis-Shedler thinning (candidates fire at the peak rate, accepted
+     with probability m(t)/m_peak). [Constant] bypasses the acceptance
+     draw entirely, so its RNG sequence is exactly the legacy
+     homogeneous Poisson process. *)
+  let curve_mult, curve_max =
+    match cfg.arrival with
+    | Constant -> ((fun _ -> 1.0), 1.0)
+    | Diurnal { period; trough } ->
+      ( (fun t ->
+          let c = cos (2.0 *. Float.pi *. t /. period) in
+          trough +. ((1.0 -. trough) *. (0.5 +. (0.5 *. c)))),
+        Float.max 1.0 trough )
+    | Bursty { period; burst_len; burst_mult } ->
+      ( (fun t -> if Float.rem t period < burst_len then burst_mult else 1.0),
+        Float.max 1.0 burst_mult )
+  in
   let in_window t = t >= window_start && t < window_end in
   (* Txn-lifecycle spans, all on the owning client's track, correlated
      by transaction id: an async "txn" span over the whole
@@ -291,7 +467,6 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
       let gen_rng = Sim.Rng.split rng in
       let retry_rng = Sim.Rng.split rng in
       let inflight = Hashtbl.create 64 in
-      inflight_tabs := inflight :: !inflight_tabs;
       (* forward declaration dance: the client references [report],
          which resubmits through the client *)
       let client_ref = ref None in
@@ -317,6 +492,7 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
       let resubmit p =
         let now = Sim.Engine.now engine in
         p.p_attempt_start <- now;
+        if streaming then ring_push wm_ring now p;
         incr attempts;
         txn_b id "attempt" now p.p_txn.Txn.id;
         P.submit (client ()) p.p_txn;
@@ -330,6 +506,8 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
           (match o.status with
            | Outcome.Committed ->
              Hashtbl.remove inflight o.txn.Txn.id;
+             p.p_live <- false;
+             decr inflight_total;
              txn_e id "attempt" now o.txn.Txn.id [ ("status", "committed") ];
              txn_e id "txn" now o.txn.Txn.id
                [ ("attempts", string_of_int (p.p_attempts + 1)) ];
@@ -362,11 +540,14 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
            | Outcome.Aborted reason ->
              let reason_s = Outcome.reason_to_string reason in
              txn_e id "attempt" now o.txn.Txn.id [ ("status", reason_s) ];
+             hot_bump now o.txn;
              if in_window p.p_first_start then
                Obs.Metrics.add abort_mx reason_s 1.0;
              p.p_attempts <- p.p_attempts + 1;
              if p.p_attempts > cfg.max_retries then begin
                Hashtbl.remove inflight o.txn.Txn.id;
+               p.p_live <- false;
+               decr inflight_total;
                (match obs with
                 | Some r ->
                   Obs.Recorder.instant r ~node:id ~name:"gave_up" ~cat:"txn"
@@ -395,40 +576,63 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
       in
       let cl = P.make_client ctx ~report in
       client_ref := Some cl;
-      all_clients := (id, cl) :: !all_clients;
+      clients.(Cluster.Topology.client_index topo id) <- Some (id, cl);
       Cluster.Net.set_handler ?phase net id
         ~cost:(fun _ -> Cost.client cfg.cost)
         ~handler:(fun ~src m -> P.client_handle cl ~src m);
-      (* open-loop Poisson arrivals *)
+      (* open-loop Poisson arrivals, thinned to the arrival curve *)
       let rate = cfg.offered_load /. float_of_int cfg.n_clients in
+      let gap_mean = 1.0 /. (rate *. curve_max) in
       let rec arrival () =
         let now = Sim.Engine.now engine in
         if now < window_end then begin
-          if Hashtbl.length inflight < cfg.max_inflight then begin
-            let txn = w.Workload_sig.gen gen_rng ~client:id in
-            let p =
-              { p_txn = txn; p_first_start = now; p_attempt_start = now; p_attempts = 0 }
-            in
-            Hashtbl.replace inflight txn.Txn.id p;
-            incr attempts;
-            txn_b id "txn" now txn.Txn.id;
-            txn_b id "attempt" now txn.Txn.id;
-            P.submit cl txn;
-            arm_timeout p
-          end
-          else begin
-            (match obs with
-             | Some r ->
-               Obs.Recorder.instant r ~node:id ~name:"shed" ~cat:"txn" ~ts:now ()
-             | None -> ());
-            if in_window now then incr dropped
-          end;
+          let accepted =
+            match cfg.arrival with
+            | Constant -> true
+            | _ -> Sim.Rng.float gen_rng curve_max < curve_mult now
+          in
+          (if not accepted then ()
+           else if Hashtbl.length inflight >= cfg.max_inflight || admit_capped ()
+           then begin
+             if admit_capped () then incr shed_admission;
+             (match obs with
+              | Some r ->
+                Obs.Recorder.instant r ~node:id ~name:"shed" ~cat:"txn" ~ts:now ()
+              | None -> ());
+             if in_window now then incr dropped
+           end
+           else begin
+             let txn = w.Workload_sig.gen gen_rng ~client:id in
+             if hot_blocked now txn then begin
+               incr shed_hot_key;
+               (match obs with
+                | Some r ->
+                  Obs.Recorder.instant r ~node:id ~name:"shed_hot_key" ~cat:"txn"
+                    ~ts:now ()
+                | None -> ());
+               if in_window now then incr dropped
+             end
+             else begin
+               let p =
+                 { p_txn = txn; p_first_start = now; p_attempt_start = now;
+                   p_attempts = 0; p_live = true }
+               in
+               Hashtbl.replace inflight txn.Txn.id p;
+               incr inflight_total;
+               if streaming then ring_push wm_ring now p;
+               incr attempts;
+               txn_b id "txn" now txn.Txn.id;
+               txn_b id "attempt" now txn.Txn.id;
+               P.submit cl txn;
+               arm_timeout p
+             end
+           end);
           Sim.Engine.schedule engine
-            ~delay:(Sim.Rng.exponential gen_rng ~mean:(1.0 /. rate))
+            ~delay:(Sim.Rng.exponential gen_rng ~mean:gap_mean)
             arrival
         end
       in
-      Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential gen_rng ~mean:(1.0 /. rate))
+      Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential gen_rng ~mean:gap_mean)
         arrival)
     (Cluster.Topology.clients topo);
   (* --- go --- *)
@@ -436,10 +640,20 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
      stopped and joined, or the process hangs at exit on its
      [Condition.wait]; shutdown is idempotent, so the normal
      collection path below re-calls it harmlessly. *)
+  let gc0 = Gc.quick_stat () in
   Fun.protect
     ~finally:(fun () ->
       match stream_worker with Some w -> Pool.shutdown w | None -> ())
     (fun () -> Sim.Engine.run ~until:horizon engine);
+  (* GC telemetry over the simulation proper (setup excluded): gauges
+     only, never part of [result], so run results stay identical
+     whether or not anyone reads them. *)
+  let gc1 = Gc.quick_stat () in
+  Obs.Metrics.set_gauge mx "gc.minor_words" (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+  Obs.Metrics.set_gauge mx "gc.major_collections"
+    (float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
+  Obs.Metrics.set_gauge mx "gc.top_heap_words"
+    (float_of_int gc1.Gc.top_heap_words);
   (* --- collect --- *)
   let verdict_string v ~n =
     match v with
@@ -502,9 +716,14 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
   List.iter
     (fun (id, srv) -> Obs.Metrics.add_list mx ~node:id (P.server_counters srv))
     servers;
-  List.iter
-    (fun (id, cl) -> Obs.Metrics.add_list mx ~node:id (P.client_counters cl))
-    !all_clients;
+  (* downto: the historical assoc list was consed in creation order and
+     drained head-first, i.e. last client first — keep that order so
+     float accumulation in the counter registry is bit-identical *)
+  for ci = cfg.n_clients - 1 downto 0 do
+    match clients.(ci) with
+    | Some (id, cl) -> Obs.Metrics.add_list mx ~node:id (P.client_counters cl)
+    | None -> ()
+  done;
   if not (Cluster.Faults.is_none cfg.faults) then begin
     let fs = Cluster.Net.fault_stats net in
     Obs.Metrics.add_list mx
@@ -536,6 +755,18 @@ let run ?(label = "") ?obs ?metrics (module P : Protocol.S) (w : Workload_sig.t)
   Obs.Metrics.set_gauge mx "run.gave_up" (float_of_int !gave_up);
   Obs.Metrics.set_gauge mx "run.attempts" (float_of_int !attempts);
   Obs.Metrics.set_gauge mx "run.shed_arrivals" (float_of_int !dropped);
+  (match cfg.admission_cap with
+   | Some _ ->
+     Obs.Metrics.set_gauge mx "run.shed_admission" (float_of_int !shed_admission)
+   | None -> ());
+  (match cfg.hot_key_shed with
+   | Some _ ->
+     Obs.Metrics.set_gauge mx "run.shed_hot_key" (float_of_int !shed_hot_key)
+   | None -> ());
+  (match cfg.store_gc with
+   | Some _ ->
+     Obs.Metrics.set_gauge mx "run.store_gc_runs" (float_of_int !store_gc_runs)
+   | None -> ());
   Obs.Metrics.set_gauge mx "run.throughput_tps" throughput;
   Obs.Metrics.set_gauge mx "run.max_utilization" max_utilization;
   Obs.Metrics.set_gauge mx "net.messages" (float_of_int msgs);

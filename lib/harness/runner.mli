@@ -16,6 +16,29 @@ type latency_spec =
     same verdict (the equivalence property pins this). *)
 type check_level = No_check | Serializable | Strict | Streaming
 
+(** Arrival-rate shape over simulated time. [Constant] is the
+    historical homogeneous Poisson process and draws exactly the legacy
+    RNG sequence; the other curves modulate the rate by a deterministic
+    multiplier via Lewis-Shedler thinning, so they are
+    seed-reproducible like everything else. *)
+type arrival_curve =
+  | Constant
+  | Diurnal of { period : float; trough : float }
+      (** cosine day/night swing: multiplier 1.0 at peak, [trough] at
+          the bottom, one cycle per [period] seconds *)
+  | Bursty of { period : float; burst_len : float; burst_mult : float }
+      (** every [period] seconds, [burst_len] seconds at [burst_mult]x
+          the base rate; 1.0x otherwise *)
+
+(** Hot-key admission shedding: an abort bumps a decaying score on each
+    of the transaction's keys; an arrival touching a key whose score
+    exceeds [shed_threshold] is shed (counted in [result.dropped] and
+    the [run.shed_hot_key] gauge). *)
+type hot_key_spec = {
+  shed_threshold : float;
+  shed_halflife : float;  (** seconds for a key's score to halve *)
+}
+
 type config = {
   seed : int;
   n_servers : int;
@@ -47,6 +70,24 @@ type config = {
           retried when it fires (default [None] = wait forever) *)
   faults : Cluster.Faults.spec;
       (** injected network/node faults (default {!Cluster.Faults.none}) *)
+  sched : Sim.Engine.sched;
+      (** event-queue implementation (default [Binary_heap]). Results
+          are byte-identical either way — the wheel/heap identity
+          tests pin this — but [Timing_wheel] is O(1) amortised per
+          event, which is what cluster-scale runs want. *)
+  arrival : arrival_curve;  (** arrival-rate shape (default [Constant]) *)
+  admission_cap : int option;
+      (** system-wide in-flight transaction ceiling; arrivals beyond it
+          are shed like the per-client back-off threshold
+          (default [None]) *)
+  hot_key_shed : hot_key_spec option;
+      (** hot-key admission shedding (default [None]) *)
+  store_gc : (float * int) option;
+      (** [Some (period, keep)]: truncate committed version chains on
+          every server store to [keep] versions every [period] simulated
+          seconds, for bounded-memory multi-million-txn runs. Pair with
+          [Streaming] or [No_check] — post-hoc checking needs the full
+          version order (default [None]) *)
 }
 
 val default : config

@@ -25,6 +25,11 @@ let seeds =
     "Sim.Heap.pop";
     "Sim.Heap.top_prio";
     "Sim.Heap.pop_min";
+    (* Sim.Wheel: the timing-wheel alternative to the heap — same
+       once-per-event duty cycle, so the same discipline. *)
+    "Sim.Wheel.schedule";
+    "Sim.Wheel.top_prio";
+    "Sim.Wheel.pop_min";
     (* Sim.Clock: per-read skewed-time arithmetic. *)
     "Sim.Clock.read";
     "Sim.Clock.read_ns";
@@ -33,6 +38,7 @@ let seeds =
     "Cluster.Net.send_clean";
     "Cluster.Net.send_faulty";
     "Cluster.Net.deliver";
+    "Cluster.Net.deliver_slot";
     "Cluster.Net.service";
     "Cluster.Net.complete_fast";
     "Cluster.Net.start_service";

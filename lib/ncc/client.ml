@@ -140,6 +140,12 @@ let outcome_of f ~status ~commit_ts =
 
 let finish_commit t f ~commit_ts =
   Hashtbl.remove t.inflight f.f_wire;
+  (* A committed transaction is never resubmitted (txn ids are unique
+     per generated transaction), so its attempt counter is dead state;
+     dropping it here keeps client memory flat over multi-million-txn
+     runs. The abort path keeps the counter — a retry of the same txn
+     id must draw a fresh wire id. *)
+  Hashtbl.remove t.attempts f.f_txn.Txn.id;
   if f.f_is_ro then t.n_ro_commit <- t.n_ro_commit + 1;
   send_decide t f ~commit:true;
   (* results are returned to the user in parallel with the commit

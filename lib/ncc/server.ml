@@ -79,13 +79,30 @@ type rinfo = {
 
 type recover_state = { mutable rc_waiting : int; mutable rc_infos : rinfo list }
 
+(* [decided] answers late or duplicated messages — a second Decide, a
+   straggler shot of a decided attempt, a recovery query — so entries
+   must outlive any reordering the latency model or fault plane can
+   produce. But one entry per wire kept forever makes multi-million-txn
+   runs grow without bound (~50 B x txns x participants); a real server
+   would truncate this record behind a watermark. The FIFO ring below
+   caps it: past [decided_horizon] recorded decisions, each new one
+   evicts the oldest. At cluster-scale decision rates (~10k/s/server)
+   2^15 decisions span seconds of simulated time, orders of magnitude
+   beyond any latency-model jitter, chaos-plane delay or recovery
+   timeout, so eviction only ever fires deep into runs where the
+   evicted wires are long dead. *)
+let decided_horizon = 1 lsl 15
+
 type t = {
   ctx : Msg.msg Cluster.Net.ctx;
   cfg : Msg.config;
   store : Store.t;
   keys : (Types.key, keystate) Hashtbl.t;
   txns : (int, txn_rec) Hashtbl.t;  (* undecided wire transactions *)
-  decided : (int, bool) Hashtbl.t;  (* wire -> committed? *)
+  decided : (int, bool) Hashtbl.t;  (* wire -> committed?, horizon-bounded *)
+  mutable dec_ring : int array;  (* FIFO of recorded wires *)
+  mutable dec_pos : int;  (* next write slot *)
+  mutable dec_len : int;  (* live entries, = Hashtbl.length decided *)
   reads_of : (int, item list ref) Hashtbl.t;  (* vid -> undecided read items *)
   recovering : (int, recover_state) Hashtbl.t;
   mutable latest_write_tw : Ts.t;
@@ -111,6 +128,9 @@ let create cfg ctx =
     keys = Hashtbl.create 1024;
     txns = Hashtbl.create 256;
     decided = Hashtbl.create 4096;
+    dec_ring = Array.make 1024 0;
+    dec_pos = 0;
+    dec_len = 0;
     reads_of = Hashtbl.create 1024;
     recovering = Hashtbl.create 16;
     latest_write_tw = Ts.zero;
@@ -293,9 +313,38 @@ let remove_read_tracking t it =
   l := List.filter (fun r -> r != it) !l;
   if !l = [] then Hashtbl.remove t.reads_of it.it_ver.Store.vid
 
+(* Record a decision in [decided], keeping the record horizon-bounded.
+   The ring holds recorded wires in FIFO order: entries live at
+   [dec_pos - dec_len, dec_pos) mod capacity, so when it is full the
+   oldest wire sits exactly at [dec_pos]. It grows by doubling up to
+   [decided_horizon]; past that, each insert evicts the oldest
+   decision. Purely deterministic — eviction order is insertion
+   order — so replay identity is unaffected. *)
+let record_decided t wire commit =
+  Hashtbl.replace t.decided wire commit;
+  let cap = Array.length t.dec_ring in
+  let cap =
+    if t.dec_len = cap && cap < decided_horizon then begin
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit t.dec_ring t.dec_pos bigger 0 (cap - t.dec_pos);
+      Array.blit t.dec_ring 0 bigger (cap - t.dec_pos) t.dec_pos;
+      t.dec_ring <- bigger;
+      t.dec_pos <- cap;
+      2 * cap
+    end
+    else cap
+  in
+  if t.dec_len = cap then begin
+    Hashtbl.remove t.decided t.dec_ring.(t.dec_pos);
+    t.dec_len <- t.dec_len - 1
+  end;
+  t.dec_ring.(t.dec_pos) <- wire;
+  t.dec_pos <- (t.dec_pos + 1) mod cap;
+  t.dec_len <- t.dec_len + 1
+
 let apply_decision t ~wire ~commit =
   if not (Hashtbl.mem t.decided wire) then begin
-    Hashtbl.replace t.decided wire commit;
+    record_decided t wire commit;
     t.n_decides <- t.n_decides + 1;
     match Hashtbl.find_opt t.txns wire with
     | None -> ()

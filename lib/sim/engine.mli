@@ -1,15 +1,25 @@
 (** Discrete-event simulation engine: virtual clock plus event queue.
     Deterministic: equal-time events run in scheduling order. *)
 
+(** The event-queue implementation. Both deliver in exactly
+    (priority, scheduling-order) order, so the choice can never change
+    a run's result (the wheel/heap identity property pins this);
+    [Timing_wheel] is O(1) amortised per event and is what the
+    cluster-scale runs use, [Binary_heap] stays the default. *)
+type sched = Binary_heap | Timing_wheel
+
 type t
 
-val create : unit -> t
+val create : ?sched:sched -> unit -> t
 
 (** Current virtual time, in seconds. *)
 val now : t -> float
 
 (** Number of events executed so far. *)
 val executed_events : t -> int
+
+(** Number of scheduled events not yet delivered. *)
+val pending : t -> int
 
 (** Schedule [f] to run [delay] seconds from now. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit

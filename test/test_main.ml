@@ -4,6 +4,7 @@ let () =
       ("ts", Test_ts.suite);
       ("kernel", Test_kernel.suite);
       ("sim", Test_sim.suite);
+      ("wheel", Test_wheel.suite);
       ("cluster", Test_cluster.suite);
       ("store", Test_store.suite);
       ("store-model", Test_store_model.suite);
